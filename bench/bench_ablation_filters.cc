@@ -1,0 +1,80 @@
+// Ablation: learned Bloom filter variants from the paper's Related Work —
+// plain LBF (Kraska et al.), sandwiched LBF (Mitzenmacher), partitioned LBF
+// (Vaidya et al.) — against the classic Bloom filter, on memory, false
+// positives and guarantees (no variant may produce a false negative).
+
+#include <cstdio>
+
+#include "baselines/bloom_filter.h"
+#include "baselines/inverted_index.h"
+#include "bench/bench_util.h"
+#include "core/learned_bloom.h"
+#include "core/partitioned_bloom.h"
+#include "core/sandwiched_bloom.h"
+#include "sets/workload.h"
+
+int main() {
+  los::bench::Banner("Ablation: learned Bloom filter variants",
+                     "Related-Work filters");
+
+  auto datasets = los::bench::BenchDatasets(/*include_large=*/false);
+  for (auto& ds : datasets) {
+    auto gen = los::bench::BenchSubsetOptions();
+    auto positives = EnumerateLabeledSubsets(ds.collection, gen);
+    los::baselines::InvertedIndex oracle(ds.collection);
+    los::Rng rng(3);
+    auto contains = [&](los::sets::SetView q) { return oracle.Contains(q); };
+    auto negatives = los::sets::SampleNegativeQueries(
+        ds.collection.universe_size(), gen.max_subset_size, 3000, contains,
+        &rng);
+
+    std::printf("\n--- %s: %zu positives, %zu eval negatives ---\n",
+                ds.name.c_str(), positives.size(), negatives.size());
+    std::printf("%-16s %10s %12s %12s\n", "variant", "fn", "fp rate",
+                "KiB");
+
+    los::core::BloomOptions base;
+    base.train.epochs = los::bench::EnvEpochs(15);
+    base.train.batch_size = 256;
+    base.train.learning_rate = 1e-2f;
+    base.max_subset_size = gen.max_subset_size;
+
+    auto report = [&](const char* name, auto* filter, size_t bytes) {
+      size_t fn = 0, fp = 0;
+      for (size_t i = 0; i < positives.size(); ++i) {
+        if (!filter->MayContain(positives.subset(i))) ++fn;
+      }
+      for (const auto& q : negatives) {
+        if (filter->MayContain(q.view())) ++fp;
+      }
+      std::printf("%-16s %10zu %12.4f %12.2f\n", name, fn,
+                  static_cast<double>(fp) /
+                      static_cast<double>(negatives.size()),
+                  bytes / 1024.0);
+    };
+
+    auto lbf = los::core::LearnedBloomFilter::Build(ds.collection, base);
+    if (lbf.ok()) report("LBF", &*lbf, lbf->TotalBytes());
+
+    los::core::SandwichedBloomOptions sw;
+    sw.learned = base;
+    auto sbf = los::core::SandwichedBloomFilter::Build(ds.collection, sw);
+    if (sbf.ok()) report("Sandwiched", &*sbf, sbf->TotalBytes());
+
+    los::core::PartitionedBloomOptions pt;
+    pt.learned = base;
+    pt.num_regions = 4;
+    auto pbf = los::core::PartitionedBloomFilter::Build(ds.collection, pt);
+    if (pbf.ok()) report("Partitioned", &*pbf, pbf->TotalBytes());
+
+    los::baselines::BloomFilter classic(positives.size(), 0.01);
+    for (size_t i = 0; i < positives.size(); ++i) {
+      classic.Insert(positives.subset(i));
+    }
+    report("Classic BF 0.01", &classic, classic.MemoryBytes());
+  }
+  std::printf("\nAll learned variants must report 0 false negatives; "
+              "sandwiching/partitioning trade classifier reliance for "
+              "backup-filter bits.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks for the hot kernels underlying all the
+// paper experiments: GEMM, model forward passes, and the traditional
+// structures' probe operations. Useful for spotting performance regressions
+// in the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/bloom_filter.h"
+#include "baselines/bplus_tree.h"
+#include "baselines/inverted_index.h"
+#include "common/random.h"
+#include "deepsets/compressed_model.h"
+#include "deepsets/deepsets_model.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "sets/generators.h"
+#include "sets/set_hash.h"
+
+namespace {
+
+using los::Rng;
+using los::nn::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(n, n), b(n, n), c(n, n);
+  los::nn::GaussianInit(&a, 1.0f, &rng);
+  los::nn::GaussianInit(&b, 1.0f, &rng);
+  for (auto _ : state) {
+    los::nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LsmForwardSingleSet(benchmark::State& state) {
+  los::deepsets::DeepSetsConfig cfg;
+  cfg.vocab = 10000;
+  cfg.embed_dim = 8;
+  cfg.phi_hidden = {64};
+  cfg.rho_hidden = {64};
+  los::deepsets::DeepSetsModel model(cfg);
+  std::vector<los::sets::ElementId> ids{17, 423, 999, 5000};
+  std::vector<int64_t> offsets{0, 4};
+  for (auto _ : state) {
+    const Tensor& out = model.Forward(ids, offsets);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LsmForwardSingleSet);
+
+void BM_ClsmForwardSingleSet(benchmark::State& state) {
+  los::deepsets::CompressedConfig cfg;
+  cfg.base.vocab = 10000;
+  cfg.base.embed_dim = 8;
+  cfg.base.phi_hidden = {64};
+  cfg.base.rho_hidden = {64};
+  cfg.ns = 2;
+  auto model = los::deepsets::CompressedDeepSetsModel::Create(cfg);
+  if (!model.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  std::vector<los::sets::ElementId> ids{17, 423, 999, 5000};
+  std::vector<int64_t> offsets{0, 4};
+  for (auto _ : state) {
+    const Tensor& out = (*model)->Forward(ids, offsets);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ClsmForwardSingleSet);
+
+void BM_BPlusTreeFind(benchmark::State& state) {
+  los::baselines::BPlusTree tree(100);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) tree.Insert(rng.Next(), i);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    auto v = tree.FindFirst(probe++);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BPlusTreeFind);
+
+void BM_BloomProbe(benchmark::State& state) {
+  los::baselines::BloomFilter bf(100000, 0.01);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    bf.InsertHash(los::sets::MixElement(i));
+  }
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    bool v = bf.MayContainHash(los::sets::MixElement(probe++));
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_InvertedIndexCardinality(benchmark::State& state) {
+  los::sets::RwConfig cfg;
+  cfg.num_sets = 20000;
+  cfg.num_unique = 2000;
+  auto collection = GenerateRw(cfg);
+  los::baselines::InvertedIndex index(collection);
+  Rng rng(3);
+  std::vector<los::sets::ElementId> q(2);
+  for (auto _ : state) {
+    q[0] = static_cast<los::sets::ElementId>(rng.Uniform(2000));
+    q[1] = static_cast<los::sets::ElementId>(rng.Uniform(2000));
+    los::sets::Canonicalize(&q);
+    auto v = index.Cardinality({q.data(), q.size()});
+    benchmark::DoNotOptimize(v);
+    if (q.size() == 1) q.resize(2);
+  }
+}
+BENCHMARK(BM_InvertedIndexCardinality);
+
+void BM_HashSetSorted(benchmark::State& state) {
+  std::vector<los::sets::ElementId> s{1, 5, 99, 1024, 70000, 123456};
+  for (auto _ : state) {
+    auto h = los::sets::HashSetSorted({s.data(), s.size()});
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HashSetSorted);
+
+}  // namespace
+
+BENCHMARK_MAIN();

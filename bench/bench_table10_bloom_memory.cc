@@ -1,0 +1,50 @@
+// Table 10: memory (MB) of the learned Bloom filters vs. classic Bloom
+// filters at fp rates {0.1, 0.01, 0.001}.
+
+#include <cstdio>
+
+#include "baselines/bloom_filter.h"
+#include "bench/bench_util.h"
+#include "core/learned_bloom.h"
+
+using los::bench::BenchDatasets;
+using los::core::BloomOptions;
+using los::core::LearnedBloomFilter;
+
+int main() {
+  los::bench::Banner("Table 10: Bloom-filter task memory (MB)", "Table 10");
+
+  std::printf("\n%-10s %10s %10s | %10s %10s %10s\n", "dataset", "LSM",
+              "CLSM", "BF 0.1", "BF 0.01", "BF 0.001");
+  for (auto& ds : BenchDatasets()) {
+    auto gen = los::bench::BenchSubsetOptions();
+    auto positives = EnumerateLabeledSubsets(ds.collection, gen);
+
+    double model_mb[2] = {0, 0};
+    for (int compressed = 0; compressed < 2; ++compressed) {
+      BloomOptions opts;
+      opts.model.compressed = compressed != 0;
+      opts.train.epochs = 3;  // size does not depend on convergence
+      opts.train.batch_size = 512;
+      opts.max_subset_size = gen.max_subset_size;
+      auto lbf = LearnedBloomFilter::Build(ds.collection, opts);
+      if (!lbf.ok()) continue;
+      // Table 10 compares model sizes; the backup "memory ... is negligible"
+      model_mb[compressed] = lbf->ModelBytes() / (1024.0 * 1024.0);
+    }
+    double bf_mb[3];
+    const double rates[3] = {0.1, 0.01, 0.001};
+    for (int i = 0; i < 3; ++i) {
+      bf_mb[i] = los::baselines::BloomFilter::OptimalBits(positives.size(),
+                                                          rates[i]) /
+                 8.0 / (1024.0 * 1024.0);
+    }
+    std::printf("%-10s %10.4f %10.4f | %10.4f %10.4f %10.4f\n",
+                ds.name.c_str(), model_mb[0], model_mb[1], bf_mb[0], bf_mb[1],
+                bf_mb[2]);
+  }
+  std::printf("\nExpected shape (paper Table 10): CLSM far below every BF "
+              "setting; LSM between BF(0.1) and the larger universes' "
+              "embeddings can exceed it.\n");
+  return 0;
+}

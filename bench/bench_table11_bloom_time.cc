@@ -1,0 +1,66 @@
+// Table 11: per-query execution time (ms) of learned vs. classic Bloom
+// filters over 1000 queries.
+
+#include <cstdio>
+
+#include "baselines/bloom_filter.h"
+#include "baselines/inverted_index.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/learned_bloom.h"
+#include "sets/workload.h"
+
+using los::bench::BenchDatasets;
+using los::core::BloomOptions;
+using los::core::LearnedBloomFilter;
+
+int main() {
+  los::bench::Banner("Table 11: Bloom-filter task query time (ms)",
+                     "Table 11");
+  const size_t kQueries = 1000;
+
+  std::printf("\n%-10s %10s %10s | %10s %10s %10s\n", "dataset", "LSM",
+              "CLSM", "BF 0.1", "BF 0.01", "BF 0.001");
+  for (auto& ds : BenchDatasets()) {
+    auto gen = los::bench::BenchSubsetOptions();
+    auto positives = EnumerateLabeledSubsets(ds.collection, gen);
+    los::Rng rng(29);
+    auto queries = SamplePositiveQueries(positives, kQueries, &rng);
+
+    double ms[2] = {0, 0};
+    for (int compressed = 0; compressed < 2; ++compressed) {
+      BloomOptions opts;
+      opts.model.compressed = compressed != 0;
+      opts.train.epochs = 3;
+      opts.train.batch_size = 512;
+      opts.max_subset_size = gen.max_subset_size;
+      auto lbf = LearnedBloomFilter::Build(ds.collection, opts);
+      if (!lbf.ok()) continue;
+      los::Stopwatch sw;
+      size_t sink = 0;
+      for (const auto& q : queries) sink += lbf->MayContain(q.view());
+      ms[compressed] = sw.ElapsedMillis() / static_cast<double>(kQueries);
+      (void)sink;
+    }
+
+    double bf_ms[3];
+    const double rates[3] = {0.1, 0.01, 0.001};
+    for (int i = 0; i < 3; ++i) {
+      los::baselines::BloomFilter bf(positives.size(), rates[i]);
+      for (size_t j = 0; j < positives.size(); ++j) {
+        bf.Insert(positives.subset(j));
+      }
+      los::Stopwatch sw;
+      size_t sink = 0;
+      for (const auto& q : queries) sink += bf.MayContain(q.view());
+      bf_ms[i] = sw.ElapsedMillis() / static_cast<double>(kQueries);
+      (void)sink;
+    }
+    std::printf("%-10s %10.5f %10.5f | %10.5f %10.5f %10.5f\n",
+                ds.name.c_str(), ms[0], ms[1], bf_ms[0], bf_ms[1], bf_ms[2]);
+  }
+  std::printf("\nExpected shape (paper Table 11): BF ~5x faster than the "
+              "models; CLSM slightly slower than LSM; tighter fp rates "
+              "probe more bits and cost slightly more.\n");
+  return 0;
+}

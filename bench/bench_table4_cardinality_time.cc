@@ -1,0 +1,61 @@
+// Table 4: per-query execution time (ms) for the cardinality task. Queries
+// run one at a time ("not in batches, to mimic a real query system").
+
+#include <cstdio>
+
+#include "baselines/hash_map_estimator.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "sets/workload.h"
+
+using los::bench::BenchDatasets;
+using los::bench::CardinalityPreset;
+using los::core::LearnedCardinalityEstimator;
+
+int main() {
+  los::bench::Banner("Table 4: cardinality-task query time (ms)", "Table 4");
+  const size_t kQueries = 10000;
+
+  std::printf("\n%-10s %10s %12s %10s %12s %12s\n", "dataset", "LSM",
+              "LSM-Hybrid", "CLSM", "CLSM-Hybrid", "HashMap");
+  for (auto& ds : BenchDatasets()) {
+    auto subsets =
+        EnumerateLabeledSubsets(ds.collection, los::bench::BenchSubsetOptions());
+    los::Rng rng(13);
+    auto queries = SampleQueries(subsets, los::sets::QueryLabel::kCardinality,
+                                 kQueries, &rng);
+
+    double ms[4] = {0, 0, 0, 0};
+    int i = 0;
+    for (bool compressed : {false, true}) {
+      for (bool hybrid : {false, true}) {
+        auto opts = CardinalityPreset(compressed, hybrid);
+        opts.train.epochs = std::min(opts.train.epochs, 4);
+        auto est = LearnedCardinalityEstimator::BuildFromSubsets(
+            subsets, ds.collection.universe_size(), opts);
+        if (!est.ok()) {
+          ms[i++] = -1.0;
+          continue;
+        }
+        los::Stopwatch sw;
+        double sink = 0.0;
+        for (const auto& q : queries) sink += est->Estimate(q.view());
+        ms[i++] = sw.ElapsedMillis() / static_cast<double>(kQueries);
+        (void)sink;
+      }
+    }
+    los::baselines::HashMapEstimator hashmap(subsets);
+    los::Stopwatch sw;
+    uint64_t sink = 0;
+    for (const auto& q : queries) sink += hashmap.Estimate(q.view());
+    double hm_ms = sw.ElapsedMillis() / static_cast<double>(kQueries);
+    (void)sink;
+    std::printf("%-10s %10.5f %12.5f %10.5f %12.5f %12.6f\n",
+                ds.name.c_str(), ms[0], ms[1], ms[2], ms[3], hm_ms);
+  }
+  std::printf("\nExpected shape (paper Table 4): HashMap ~100-300x faster "
+              "than the models; CLSM slightly slower than LSM (extra "
+              "compression + concatenation); hybrids slightly faster than "
+              "their base (aux hits skip the model).\n");
+  return 0;
+}

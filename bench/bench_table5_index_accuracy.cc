@@ -1,0 +1,55 @@
+// Table 5: index-task accuracy (avg q-error / avg absolute error) for
+// LSM-Hybrid and CLSM-Hybrid at outlier-eviction percentile thresholds
+// {50, 75, 90, 95} and with no removal.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using los::bench::BenchDatasets;
+using los::bench::IndexPreset;
+using los::core::LearnedSetIndex;
+
+int main() {
+  los::bench::Banner(
+      "Table 5: index accuracy (q-error / abs error) by eviction percentile",
+      "Table 5");
+
+  const double kPercentiles[] = {0.5, 0.75, 0.9, 0.95, 1.0};
+  const char* kLabels[] = {"<50%", "<75%", "<90%", "<95%", "NoRemoval"};
+
+  // The paper reports all five datasets; by default we use the three
+  // distribution shapes (small RW, Tweets, SD) to bound runtime and skip
+  // the scaled mid/large RW duplicates. LOS_TABLE5_ALL=1 runs all five.
+  bool all = std::getenv("LOS_TABLE5_ALL") != nullptr;
+  auto datasets = BenchDatasets(/*include_large=*/all);
+
+  for (bool compressed : {false, true}) {
+    std::printf("\n=== %s-Hybrid ===\n", compressed ? "CLSM" : "LSM");
+    std::printf("%-10s", "dataset");
+    for (const char* l : kLabels) std::printf(" %19s", l);
+    std::printf("\n");
+    for (auto& ds : datasets) {
+      std::printf("%-10s", ds.name.c_str());
+      for (double pct : kPercentiles) {
+        auto opts = IndexPreset(compressed, /*hybrid=*/pct < 1.0, pct);
+        opts.train.epochs = std::min(opts.train.epochs, 6);
+        auto index = LearnedSetIndex::Build(ds.collection, opts);
+        if (!index.ok()) {
+          std::printf(" %19s", "build failed");
+          continue;
+        }
+        char cell[40];
+        std::snprintf(cell, sizeof(cell), "%.4f/%.0f",
+                      index->final_train_qerror(),
+                      index->final_train_abs_error());
+        std::printf(" %19s", cell);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape (paper Table 5): error shrinks "
+              "monotonically with more aggressive eviction; LSM-Hybrid "
+              "beats CLSM-Hybrid at equal thresholds.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table 9: binary accuracy of the learned Bloom filter (LSM vs CLSM) over
+// positive subsets and sampled negatives, after the paper's small-model
+// setting (embedding 2, two 8-neuron layers).
+
+#include <cstdio>
+
+#include "baselines/inverted_index.h"
+#include "bench/bench_util.h"
+#include "core/learned_bloom.h"
+#include "sets/workload.h"
+
+using los::bench::BenchDatasets;
+using los::core::BloomOptions;
+using los::core::LearnedBloomFilter;
+
+namespace {
+
+/// Classification accuracy of the raw model (no backup filter), the metric
+/// Table 9 reports.
+double BinaryAccuracy(LearnedBloomFilter* lbf,
+                      const los::sets::LabeledSubsets& positives,
+                      const std::vector<los::sets::Query>& negatives) {
+  size_t correct = 0, total = 0;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    correct += lbf->Probability(positives.subset(i)) >= lbf->threshold();
+    ++total;
+  }
+  for (const auto& q : negatives) {
+    correct += lbf->Probability(q.view()) < lbf->threshold();
+    ++total;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  los::bench::Banner("Table 9: Bloom-filter task binary accuracy", "Table 9");
+
+  // Two negative-sampling regimes: the paper's ("the used negative training
+  // data is only a subset of the complete dataset" — we use 10% of the
+  // positive count) and a harsher balanced 1:1 regime. At bench scale the
+  // pair space shrinks quadratically relative to the paper's universes, so
+  // co-occurrence classification is information-limited; accuracy rises
+  // with LOS_SCALE.
+  for (double neg_ratio : {0.1, 1.0}) {
+    std::printf("\n--- negatives : positives = %.1f : 1 ---\n", neg_ratio);
+    std::printf("%-10s %10s %10s %14s\n", "dataset", "LSM", "CLSM",
+                "s/epoch LSM");
+    for (auto& ds : BenchDatasets()) {
+      auto gen = los::bench::BenchSubsetOptions();
+      auto positives = EnumerateLabeledSubsets(ds.collection, gen);
+      los::baselines::InvertedIndex oracle(ds.collection);
+      los::Rng rng(3);
+      auto contains = [&](los::sets::SetView q) {
+        return oracle.Contains(q);
+      };
+      auto negatives = los::sets::SampleNegativeQueries(
+          ds.collection.universe_size(), gen.max_subset_size,
+          static_cast<size_t>(positives.size() * neg_ratio), contains, &rng);
+
+      double acc[2] = {0, 0};
+      double secs = 0;
+      for (int compressed = 0; compressed < 2; ++compressed) {
+        BloomOptions opts;
+        opts.model.compressed = compressed != 0;
+        opts.train.epochs = los::bench::EnvEpochs(30);
+        opts.train.batch_size = 256;
+        opts.train.learning_rate = 1e-2f;
+        opts.negatives_per_positive = neg_ratio;
+        opts.max_subset_size = gen.max_subset_size;
+        auto lbf = LearnedBloomFilter::Build(ds.collection, opts);
+        if (!lbf.ok()) continue;
+        acc[compressed] = BinaryAccuracy(&*lbf, positives, negatives);
+        if (compressed == 0) {
+          secs = lbf->train_seconds() / opts.train.epochs;
+        }
+      }
+      std::printf("%-10s %10.4f %10.4f %14.2f\n", ds.name.c_str(), acc[0],
+                  acc[1], secs);
+    }
+  }
+  std::printf("\nExpected shape (paper Table 9): high accuracy, LSM >= CLSM "
+              "on most datasets. Absolute values sit below the paper's "
+              "0.97-0.9999 because the scaled-down universes make tail-pair "
+              "co-occurrence information-limited (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#ifndef LOS_BENCH_BENCH_UTIL_H_
+#define LOS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// prints the corresponding paper table/figure as text rows; dataset sizes
+// default to a laptop-scale fraction of the paper's and are multiplied by
+// the LOS_SCALE environment variable (e.g. LOS_SCALE=10 approaches the
+// paper's sizes). LOS_EPOCHS overrides the per-model training epochs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/learned_cardinality.h"
+#include "core/learned_index.h"
+#include "core/trainer.h"
+#include "sets/generators.h"
+#include "sets/subset_gen.h"
+
+namespace los::bench {
+
+/// LOS_SCALE env var (default 1.0).
+inline double EnvScale() {
+  const char* s = std::getenv("LOS_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+/// LOS_EPOCHS env var (default `fallback`).
+inline int EnvEpochs(int fallback) {
+  const char* s = std::getenv("LOS_EPOCHS");
+  return s != nullptr ? std::atoi(s) : fallback;
+}
+
+/// One benchmark dataset: generated stand-in plus the paper's name for the
+/// dataset it models.
+struct DatasetSpec {
+  std::string name;        ///< our name ("rw-small")
+  std::string paper_name;  ///< the paper's name ("RW-200k")
+  sets::SetCollection collection;
+};
+
+/// The five evaluation datasets of Table 2, at bench scale (paper sizes
+/// divided by ~33 at LOS_SCALE=1).
+inline std::vector<DatasetSpec> BenchDatasets(bool include_large = true) {
+  double scale = EnvScale();
+  auto n = [scale](size_t base) {
+    return static_cast<size_t>(base * scale) + 1;
+  };
+  std::vector<DatasetSpec> out;
+  {
+    sets::RwConfig c;
+    c.num_sets = n(6000);
+    c.num_unique = n(900);
+    out.push_back({"rw-small", "RW-200k", GenerateRw(c)});
+  }
+  if (include_large) {
+    sets::RwConfig c;
+    c.num_sets = n(12000);
+    c.num_unique = n(1850);
+    c.seed = 43;
+    out.push_back({"rw-mid", "RW-1.5M", GenerateRw(c)});
+    sets::RwConfig c2;
+    c2.num_sets = n(18000);
+    c2.num_unique = n(2100);
+    c2.seed = 44;
+    out.push_back({"rw-large", "RW-3M", GenerateRw(c2)});
+  }
+  {
+    sets::TweetsConfig c;
+    c.num_sets = n(5700);
+    c.num_unique = n(230);
+    out.push_back({"tweets", "Tweets", GenerateTweets(c)});
+  }
+  {
+    sets::SdConfig c;
+    c.num_sets = n(3000);
+    c.num_unique = n(170);
+    out.push_back({"sd", "SD", GenerateSd(c)});
+  }
+  return out;
+}
+
+/// Subset-enumeration bound used by all benches (§7.1.1 limits generation
+/// to small subset sizes; we default to 3 for bench runtime, the paper
+/// uses up to 6).
+inline sets::SubsetGenOptions BenchSubsetOptions() {
+  sets::SubsetGenOptions opts;
+  opts.max_subset_size = 3;
+  opts.max_distinct_subsets = 100000;
+  const char* s = std::getenv("LOS_MAX_SUBSET_SIZE");
+  if (s != nullptr) opts.max_subset_size = std::strtoul(s, nullptr, 10);
+  return opts;
+}
+
+/// Cardinality-task model preset (paper: 64-256 neurons).
+inline core::CardinalityOptions CardinalityPreset(bool compressed,
+                                                  bool hybrid) {
+  core::CardinalityOptions opts;
+  opts.model.compressed = compressed;
+  opts.model.embed_dim = 8;
+  opts.model.phi_hidden = {64};
+  opts.model.rho_hidden = {64};
+  opts.train.epochs = EnvEpochs(10);
+  opts.train.batch_size = 512;
+  opts.train.learning_rate = 3e-3f;
+  opts.train.loss = core::LossKind::kMse;  // MSE on log targets (stable)
+  opts.max_subset_size = BenchSubsetOptions().max_subset_size;
+  opts.hybrid = hybrid;
+  opts.keep_fraction = 0.9;  // Fig 6: evict above the 90th percentile
+  return opts;
+}
+
+/// Index-task model preset (paper: 8-32 neurons).
+inline core::IndexOptions IndexPreset(bool compressed, bool hybrid,
+                                      double keep_fraction = 0.9) {
+  core::IndexOptions opts;
+  opts.model.compressed = compressed;
+  opts.model.embed_dim = 8;
+  opts.model.phi_hidden = {32};
+  opts.model.rho_hidden = {32};
+  opts.train.epochs = EnvEpochs(10);
+  opts.train.batch_size = 512;
+  opts.train.learning_rate = 3e-3f;
+  opts.train.loss = core::LossKind::kMse;
+  opts.max_subset_size = BenchSubsetOptions().max_subset_size;
+  opts.hybrid = hybrid;
+  opts.keep_fraction = keep_fraction;
+  opts.error_range_length = 100.0;
+  return opts;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("LOS_SCALE=%.2f  (dataset sizes ~1/33 of the paper at 1.0)\n",
+              EnvScale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace los::bench
+
+#endif  // LOS_BENCH_BENCH_UTIL_H_

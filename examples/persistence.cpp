@@ -1,0 +1,81 @@
+// Persistence workflow: build a hybrid cardinality estimator, save it (and
+// the dictionary) to disk, reload in a "fresh process" and keep answering
+// queries. This is the deployment pattern for the learned structures: train
+// offline, ship the (small) model file.
+//
+// Usage:  ./build/examples/persistence [model_path]
+
+#include <cstdio>
+#include <string>
+
+#include "common/serialize.h"
+#include "core/learned_cardinality.h"
+#include "sets/set_io.h"
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "/tmp/los_persistence_demo.bin";
+
+  // --- "Training process": parse raw data, train, save. ---
+  auto data = los::sets::ParseSetsText(
+      "#pizza #dinner #friends\n"
+      "#lunch #pizza #italy\n"
+      "#dinner #date #pizza\n"
+      "#pizza #dinner #family #sunday\n"
+      "#lunch #salad\n"
+      "#date #movie\n"
+      "#sunday #brunch #friends\n"
+      "#italy #travel\n");
+  if (!data.ok()) {
+    std::printf("parse failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  los::core::CardinalityOptions opts;
+  opts.train.epochs = 150;
+  opts.train.learning_rate = 0.01f;
+  opts.train.loss = los::core::LossKind::kMse;
+  opts.max_subset_size = 3;
+  opts.hybrid = true;
+  auto estimator =
+      los::core::LearnedCardinalityEstimator::Build(data->collection, opts);
+  if (!estimator.ok()) {
+    std::printf("build failed: %s\n", estimator.status().ToString().c_str());
+    return 1;
+  }
+
+  los::BinaryWriter writer;
+  data->dictionary.Save(&writer);
+  estimator->Save(&writer);
+  if (auto st = writer.WriteToFile(path); !st.ok()) {
+    std::printf("save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved estimator (%zu bytes: model %.1f KiB + aux %.1f KiB) "
+              "to %s\n",
+              writer.size(), estimator->ModelBytes() / 1024.0,
+              estimator->AuxBytes() / 1024.0, path.c_str());
+
+  // --- "Serving process": reload and answer queries. ---
+  auto reader = los::BinaryReader::FromFile(path);
+  if (!reader.ok()) {
+    std::printf("open failed: %s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  auto dict = los::sets::Dictionary::Load(&*reader);
+  auto loaded = los::core::LearnedCardinalityEstimator::Load(&*reader);
+  if (!dict.ok() || !loaded.ok()) {
+    std::printf("load failed\n");
+    return 1;
+  }
+
+  for (const char* line : {"#pizza #dinner", "#pizza", "#salad #travel"}) {
+    auto q = los::sets::ParseQueryLine(line, *dict);
+    if (!q.ok()) {
+      std::printf("%-18s -> 0 (unseen element)\n", line);
+      continue;
+    }
+    std::printf("%-18s -> %.2f sets\n", line,
+                loaded->Estimate({q->data(), q->size()}));
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Quickstart: the Figure-1 scenario from the paper — a collection of tweets'
+// hashtag sets, with all three learned structures answering queries about
+// the subset {#pizza, #dinner}.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/learned_bloom.h"
+#include "core/learned_cardinality.h"
+#include "core/learned_index.h"
+#include "sets/set_collection.h"
+
+namespace {
+
+/// Tiny string dictionary: hashtags -> dense element ids.
+class Dictionary {
+ public:
+  los::sets::ElementId Id(const std::string& token) {
+    auto [it, inserted] = ids_.emplace(token, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+  std::vector<los::sets::ElementId> Ids(
+      const std::vector<std::string>& tokens) {
+    std::vector<los::sets::ElementId> out;
+    out.reserve(tokens.size());
+    for (const auto& t : tokens) out.push_back(Id(t));
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, los::sets::ElementId> ids_;
+  los::sets::ElementId next_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Dictionary dict;
+  los::sets::SetCollection tweets;
+
+  // The four tweets of Figure 1.
+  tweets.Add(dict.Ids({"#pizza", "#dinner", "#friends"}));            // T1
+  tweets.Add(dict.Ids({"#lunch", "#pizza", "#italy"}));               // T2
+  tweets.Add(dict.Ids({"#dinner", "#date", "#pizza"}));               // T3
+  tweets.Add(dict.Ids({"#pizza", "#dinner", "#family", "#sunday"}));  // T4
+
+  // Pad the collection with a few more tweets so training has signal.
+  tweets.Add(dict.Ids({"#lunch", "#salad"}));
+  tweets.Add(dict.Ids({"#date", "#movie"}));
+  tweets.Add(dict.Ids({"#sunday", "#brunch", "#friends"}));
+  tweets.Add(dict.Ids({"#italy", "#travel"}));
+
+  std::vector<los::sets::ElementId> query = dict.Ids({"#pizza", "#dinner"});
+  los::sets::Canonicalize(&query);
+  los::sets::SetView q(query.data(), query.size());
+
+  std::printf("Collection: %zu tweets, %zu distinct hashtags\n\n",
+              tweets.size(), tweets.CountDistinctElements());
+
+  // --- Cardinality estimation (how popular is {#pizza, #dinner}?) ---
+  los::core::CardinalityOptions card_opts;
+  card_opts.train.epochs = 120;
+  card_opts.train.learning_rate = 0.01f;
+  card_opts.train.loss = los::core::LossKind::kMse;
+  card_opts.max_subset_size = 3;
+  auto estimator =
+      los::core::LearnedCardinalityEstimator::Build(tweets, card_opts);
+  if (!estimator.ok()) {
+    std::printf("estimator build failed: %s\n",
+                estimator.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Cardinality of {#pizza, #dinner}: estimated %.2f (true 3)\n",
+              estimator->Estimate(q));
+
+  // --- Indexing (where does it first appear?) ---
+  los::core::IndexOptions idx_opts;
+  idx_opts.train.epochs = 120;
+  idx_opts.train.learning_rate = 0.01f;
+  idx_opts.train.loss = los::core::LossKind::kMse;
+  idx_opts.max_subset_size = 3;
+  auto index = los::core::LearnedSetIndex::Build(tweets, idx_opts);
+  if (!index.ok()) {
+    std::printf("index build failed: %s\n",
+                index.status().ToString().c_str());
+    return 1;
+  }
+  los::core::LearnedSetIndex::LookupStats stats;
+  int64_t pos = index->Lookup(q, &stats);
+  std::printf("First tweet containing it: T%lld (%s, scanned %lld sets)\n",
+              static_cast<long long>(pos + 1),
+              stats.aux_hit ? "auxiliary structure" : "model + local scan",
+              static_cast<long long>(stats.scan_width));
+
+  // --- Membership (does any tweet contain it?) ---
+  los::core::BloomOptions bloom_opts;
+  bloom_opts.train.epochs = 60;
+  bloom_opts.max_subset_size = 3;
+  auto filter = los::core::LearnedBloomFilter::Build(tweets, bloom_opts);
+  if (!filter.ok()) {
+    std::printf("filter build failed: %s\n",
+                filter.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Membership query: %s (probability %.3f)\n",
+              filter->MayContain(q) ? "present" : "absent",
+              filter->Probability(q));
+
+  auto absent = dict.Ids({"#salad", "#travel"});
+  los::sets::Canonicalize(&absent);
+  los::sets::SetView qa(absent.data(), absent.size());
+  std::printf("Membership of {#salad, #travel}: %s (probability %.3f)\n",
+              filter->MayContain(qa) ? "present" : "absent",
+              filter->Probability(qa));
+
+  std::printf(
+      "\nModel sizes: estimator %.1f KiB, index %.1f KiB, filter %.1f KiB\n",
+      estimator->TotalBytes() / 1024.0, index->TotalBytes() / 1024.0,
+      filter->TotalBytes() / 1024.0);
+  return 0;
+}

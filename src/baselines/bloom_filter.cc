@@ -1,0 +1,73 @@
+#include "baselines/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace los::baselines {
+
+size_t BloomFilter::OptimalBits(size_t expected_items, double fp_rate) {
+  fp_rate = std::clamp(fp_rate, 1e-12, 0.999);
+  double n = static_cast<double>(std::max<size_t>(expected_items, 1));
+  double m = -n * std::log(fp_rate) / (std::log(2.0) * std::log(2.0));
+  return static_cast<size_t>(std::ceil(std::max(m, 64.0)));
+}
+
+size_t BloomFilter::OptimalHashes(size_t expected_items, size_t num_bits) {
+  double n = static_cast<double>(std::max<size_t>(expected_items, 1));
+  double k = std::log(2.0) * static_cast<double>(num_bits) / n;
+  return static_cast<size_t>(std::max(1.0, std::round(k)));
+}
+
+BloomFilter::BloomFilter(size_t expected_items, double fp_rate)
+    : num_bits_(OptimalBits(expected_items, fp_rate)),
+      num_hashes_(OptimalHashes(expected_items, num_bits_)),
+      bits_((num_bits_ + 63) / 64, 0) {}
+
+void BloomFilter::InsertHash(uint64_t h) {
+  const uint64_t h1 = h;
+  const uint64_t h2 = sets::MixElement(h) | 1;  // odd stride
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContainHash(uint64_t h) const {
+  const uint64_t h1 = h;
+  const uint64_t h2 = sets::MixElement(h) | 1;
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Save(los::BinaryWriter* w) const {
+  w->WriteU64(num_bits_);
+  w->WriteU64(num_hashes_);
+  w->WriteU64(inserted_);
+  w->WriteVector(bits_);
+}
+
+Result<BloomFilter> BloomFilter::Load(BinaryReader* r) {
+  auto nb = r->ReadU64();
+  if (!nb.ok()) return nb.status();
+  auto nh = r->ReadU64();
+  if (!nh.ok()) return nh.status();
+  auto ins = r->ReadU64();
+  if (!ins.ok()) return ins.status();
+  auto bits = r->ReadVector<uint64_t>();
+  if (!bits.ok()) return bits.status();
+  if (bits->size() != (*nb + 63) / 64) {
+    return Status::Internal("bloom bit array size mismatch");
+  }
+  BloomFilter bf;
+  bf.num_bits_ = *nb;
+  bf.num_hashes_ = *nh;
+  bf.inserted_ = *ins;
+  bf.bits_ = std::move(*bits);
+  return bf;
+}
+
+}  // namespace los::baselines

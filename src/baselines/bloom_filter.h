@@ -1,0 +1,64 @@
+#ifndef LOS_BASELINES_BLOOM_FILTER_H_
+#define LOS_BASELINES_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "sets/set_collection.h"
+#include "sets/set_hash.h"
+
+namespace los::baselines {
+
+/// \brief Classic Bloom filter over sets, sized from (expected insertions,
+/// target false-positive rate).
+///
+/// Keys are permutation-invariant set hashes; k probe positions come from
+/// double hashing (Kirsch-Mitzenmacher). The paper's membership competitor
+/// indexes "all the combinations of present elements" — i.e. every subset up
+/// to the workload's size bound is inserted.
+class BloomFilter {
+ public:
+  /// \param expected_items number of keys that will be inserted
+  /// \param fp_rate target false-positive probability in (0, 1)
+  BloomFilter(size_t expected_items, double fp_rate);
+
+  /// Inserts a sorted set.
+  void Insert(sets::SetView s) { InsertHash(sets::HashSetSorted(s)); }
+
+  /// Inserts a pre-computed key.
+  void InsertHash(uint64_t h);
+
+  /// May-contain probe; false means definitely absent.
+  bool MayContain(sets::SetView s) const {
+    return MayContainHash(sets::HashSetSorted(s));
+  }
+  bool MayContainHash(uint64_t h) const;
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_hashes() const { return num_hashes_; }
+  size_t inserted() const { return inserted_; }
+
+  /// Bit-array bytes (what Tables 10 and Figure 3 report).
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  void Save(los::BinaryWriter* w) const;
+  static Result<BloomFilter> Load(BinaryReader* r);
+
+  /// Analytic size in bits for the given parameters:
+  /// m = -n ln p / (ln 2)^2. Used by the Figure-3 bench without building.
+  static size_t OptimalBits(size_t expected_items, double fp_rate);
+  static size_t OptimalHashes(size_t expected_items, size_t num_bits);
+
+ private:
+  BloomFilter() : num_bits_(64), num_hashes_(1), bits_(1, 0) {}
+
+  size_t num_bits_;
+  size_t num_hashes_;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace los::baselines
+
+#endif  // LOS_BASELINES_BLOOM_FILTER_H_

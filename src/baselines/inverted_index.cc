@@ -1,0 +1,87 @@
+#include "baselines/inverted_index.h"
+
+#include <algorithm>
+
+namespace los::baselines {
+
+InvertedIndex::InvertedIndex(const sets::SetCollection& collection) {
+  postings_.resize(collection.universe_size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    for (sets::ElementId e : collection.set(i)) {
+      postings_[e].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  // Positions are visited in ascending order, so lists are already sorted.
+}
+
+const std::vector<uint32_t>& InvertedIndex::postings(
+    sets::ElementId e) const {
+  if (e >= postings_.size()) return empty_;
+  return postings_[e];
+}
+
+std::vector<uint32_t> InvertedIndex::Intersect(sets::SetView q,
+                                               bool first_only) const {
+  std::vector<uint32_t> out;
+  if (q.empty()) return out;
+  // Order lists by length; an unseen element means an empty result.
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(q.size());
+  for (sets::ElementId e : q) {
+    const auto& p = postings(e);
+    if (p.empty()) return out;
+    lists.push_back(&p);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  // Probe candidates from the shortest list against the rest via galloping
+  // binary search.
+  std::vector<size_t> cursors(lists.size(), 0);
+  for (uint32_t candidate : *lists[0]) {
+    bool in_all = true;
+    for (size_t l = 1; l < lists.size(); ++l) {
+      const auto& list = *lists[l];
+      size_t& cur = cursors[l];
+      // Gallop forward.
+      size_t step = 1;
+      while (cur + step < list.size() && list[cur + step] < candidate) {
+        cur += step;
+        step <<= 1;
+      }
+      auto it = std::lower_bound(list.begin() + static_cast<int64_t>(cur),
+                                 list.end(), candidate);
+      cur = static_cast<size_t>(it - list.begin());
+      if (it == list.end()) return out;  // exhausted: no more matches at all
+      if (*it != candidate) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) {
+      out.push_back(candidate);
+      if (first_only) return out;
+    }
+  }
+  return out;
+}
+
+uint64_t InvertedIndex::Cardinality(sets::SetView q) const {
+  return Intersect(q, /*first_only=*/false).size();
+}
+
+int64_t InvertedIndex::FirstMatch(sets::SetView q) const {
+  auto m = Intersect(q, /*first_only=*/true);
+  return m.empty() ? -1 : static_cast<int64_t>(m.front());
+}
+
+std::vector<uint32_t> InvertedIndex::Matches(sets::SetView q) const {
+  return Intersect(q, /*first_only=*/false);
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = postings_.capacity() * sizeof(std::vector<uint32_t>);
+  for (const auto& p : postings_) bytes += p.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace los::baselines

@@ -1,0 +1,56 @@
+#ifndef LOS_BASELINES_INVERTED_INDEX_H_
+#define LOS_BASELINES_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sets/set_collection.h"
+
+namespace los::baselines {
+
+/// \brief Element → posting-list index over a set collection.
+///
+/// Serves three roles: (1) exact ground-truth oracle for arbitrary subset
+/// queries (cardinality = |∩ posting lists|, first match = min of the
+/// intersection), (2) negative-sample rejection for the Bloom-filter task,
+/// and (3) the "PostgreSQL with index" access path of the Table-12 system
+/// integration experiment. Posting lists are sorted set positions;
+/// intersection uses galloping search from the shortest list.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const sets::SetCollection& collection);
+
+  /// Exact number of sets containing sorted `q` (0 for the empty query —
+  /// defined as 0 rather than N to match the tasks, which query non-empty
+  /// subsets).
+  uint64_t Cardinality(sets::SetView q) const;
+
+  /// First position whose set contains `q`, or -1.
+  int64_t FirstMatch(sets::SetView q) const;
+
+  /// True iff some set contains `q`.
+  bool Contains(sets::SetView q) const { return FirstMatch(q) >= 0; }
+
+  /// All positions whose sets contain `q`, ascending.
+  std::vector<uint32_t> Matches(sets::SetView q) const;
+
+  /// Posting list of one element (empty if the element is unseen).
+  const std::vector<uint32_t>& postings(sets::ElementId e) const;
+
+  /// Index footprint: posting arrays plus directory.
+  size_t MemoryBytes() const;
+
+  size_t num_elements() const { return postings_.size(); }
+
+ private:
+  /// Intersects the postings of q's elements; if `first_only`, stops at the
+  /// first common position. Returns all common positions otherwise.
+  std::vector<uint32_t> Intersect(sets::SetView q, bool first_only) const;
+
+  std::vector<std::vector<uint32_t>> postings_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace los::baselines
+
+#endif  // LOS_BASELINES_INVERTED_INDEX_H_

@@ -1,0 +1,326 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/serialize.h"
+#include "core/learned_bloom.h"
+#include "core/learned_cardinality.h"
+#include "core/learned_index.h"
+#include "sets/generators.h"
+#include "sets/set_io.h"
+
+namespace los::cli {
+
+namespace {
+
+constexpr char kMagic[] = "LOSMODEL1";
+
+/// What a model file contains: magic, task tag, dictionary, the structure,
+/// and (for the index task) the collection it was built over.
+struct TaskNames {
+  static constexpr const char* kCardinality = "cardinality";
+  static constexpr const char* kIndex = "index";
+  static constexpr const char* kBloom = "bloom";
+};
+
+int Fail(std::ostream& out, const std::string& message) {
+  out << "error: " << message << "\n";
+  return 1;
+}
+
+int CmdGenerate(const ArgParser& args, std::ostream& out) {
+  std::string dataset = args.GetString("dataset");
+  std::string output = args.GetString("output");
+  if (dataset.empty() || output.empty()) {
+    return Fail(out, "generate requires --dataset and --output");
+  }
+  double scale = args.GetDouble("scale", 0.1);
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  auto collection = sets::GenerateNamedDataset(dataset, scale, seed);
+  if (!collection.ok()) return Fail(out, collection.status().ToString());
+  // Ids are written as numeric tokens via an identity dictionary.
+  sets::Dictionary dict;
+  for (sets::ElementId e = 0; e < collection->universe_size(); ++e) {
+    dict.GetOrAdd("e" + std::to_string(e));
+  }
+  Status st = sets::WriteSetsFile(output, *collection, dict);
+  if (!st.ok()) return Fail(out, st.ToString());
+  out << "wrote " << collection->size() << " sets ("
+      << collection->CountDistinctElements() << " distinct elements) to "
+      << output << "\n";
+  return 0;
+}
+
+int CmdStats(const ArgParser& args, std::ostream& out) {
+  std::string input = args.GetString("input");
+  if (input.empty()) return Fail(out, "stats requires --input");
+  auto data = sets::ReadSetsFile(input);
+  if (!data.ok()) return Fail(out, data.status().ToString());
+  const auto& c = data->collection;
+  auto [lo, hi] = c.SetSizeRange();
+  out << "sets:              " << c.size() << "\n"
+      << "distinct elements: " << c.CountDistinctElements() << "\n"
+      << "total elements:    " << c.total_elements() << "\n"
+      << "set sizes:         " << lo << ".." << hi << "\n"
+      << "memory:            " << c.MemoryBytes() / 1024.0 << " KiB\n";
+  return 0;
+}
+
+core::TrainConfig TrainFromArgs(const ArgParser& args) {
+  core::TrainConfig train;
+  train.epochs = static_cast<int>(args.GetInt("epochs", 20));
+  train.batch_size = static_cast<int>(args.GetInt("batch-size", 256));
+  train.learning_rate =
+      static_cast<float>(args.GetDouble("learning-rate", 3e-3));
+  train.loss = core::LossKind::kMse;
+  return train;
+}
+
+int CmdBuild(const ArgParser& args, std::ostream& out) {
+  std::string task = args.GetString("task");
+  std::string input = args.GetString("input");
+  std::string output = args.GetString("output");
+  if (task.empty() || input.empty() || output.empty()) {
+    return Fail(out, "build requires --task, --input and --output");
+  }
+  auto data = sets::ReadSetsFile(input);
+  if (!data.ok()) return Fail(out, data.status().ToString());
+  if (data->collection.empty()) return Fail(out, "input has no sets");
+
+  const bool compressed = args.HasFlag("compressed");
+  const bool hybrid = args.HasFlag("hybrid");
+  const size_t max_subset =
+      static_cast<size_t>(args.GetInt("max-subset-size", 3));
+  const double keep = args.GetDouble("keep-fraction", 0.9);
+
+  BinaryWriter w;
+  w.WriteString(kMagic);
+  w.WriteString(task);
+  data->dictionary.Save(&w);
+
+  if (task == TaskNames::kCardinality) {
+    core::CardinalityOptions opts;
+    opts.model.compressed = compressed;
+    opts.train = TrainFromArgs(args);
+    opts.max_subset_size = max_subset;
+    opts.hybrid = hybrid;
+    opts.keep_fraction = keep;
+    auto est = core::LearnedCardinalityEstimator::Build(data->collection,
+                                                        opts);
+    if (!est.ok()) return Fail(out, est.status().ToString());
+    est->Save(&w);
+    out << "built cardinality estimator: model "
+        << est->ModelBytes() / 1024.0 << " KiB, aux "
+        << est->AuxBytes() / 1024.0 << " KiB, train "
+        << est->train_seconds() << "s, avg train q-error "
+        << est->final_train_qerror() << "\n";
+  } else if (task == TaskNames::kIndex) {
+    core::IndexOptions opts;
+    opts.model.compressed = compressed;
+    opts.train = TrainFromArgs(args);
+    opts.max_subset_size = max_subset;
+    opts.hybrid = hybrid;
+    opts.keep_fraction = keep;
+    auto index = core::LearnedSetIndex::Build(data->collection, opts);
+    if (!index.ok()) return Fail(out, index.status().ToString());
+    // The index needs its collection at query time; bundle it.
+    data->collection.Save(&w);
+    index->Save(&w);
+    out << "built set index: model " << index->ModelBytes() / 1024.0
+        << " KiB, aux " << index->AuxBytes() / 1024.0 << " KiB, err "
+        << index->ErrBytes() / 1024.0 << " KiB, outliers "
+        << index->num_outliers() << "\n";
+  } else if (task == TaskNames::kBloom) {
+    core::BloomOptions opts;
+    opts.model.compressed = compressed;
+    core::TrainConfig train = TrainFromArgs(args);
+    opts.train = train;
+    opts.train.loss = core::LossKind::kBce;
+    opts.max_subset_size = max_subset;
+    auto lbf = core::LearnedBloomFilter::Build(data->collection, opts);
+    if (!lbf.ok()) return Fail(out, lbf.status().ToString());
+    lbf->Save(&w);
+    out << "built learned bloom filter: model "
+        << lbf->ModelBytes() / 1024.0 << " KiB, backup "
+        << lbf->BackupBytes() / 1024.0 << " KiB ("
+        << lbf->num_false_negatives() << " false negatives)\n";
+  } else {
+    return Fail(out, "unknown task: " + task);
+  }
+  Status st = w.WriteToFile(output);
+  if (!st.ok()) return Fail(out, st.ToString());
+  out << "saved to " << output << "\n";
+  return 0;
+}
+
+int CmdQuery(const ArgParser& args, std::ostream& out) {
+  std::string task = args.GetString("task");
+  std::string model_path = args.GetString("model");
+  std::vector<std::string> queries = args.GetAll("query");
+  if (task.empty() || model_path.empty() || queries.empty()) {
+    return Fail(out, "query requires --task, --model and --query");
+  }
+  auto reader = BinaryReader::FromFile(model_path);
+  if (!reader.ok()) return Fail(out, reader.status().ToString());
+  auto magic = reader->ReadString();
+  if (!magic.ok() || *magic != kMagic) {
+    return Fail(out, "not a model file: " + model_path);
+  }
+  auto stored_task = reader->ReadString();
+  if (!stored_task.ok()) return Fail(out, stored_task.status().ToString());
+  if (*stored_task != task) {
+    return Fail(out, "model was built for task '" + *stored_task +
+                         "', not '" + task + "'");
+  }
+  auto dict = sets::Dictionary::Load(&*reader);
+  if (!dict.ok()) return Fail(out, dict.status().ToString());
+
+  auto parse = [&](const std::string& line)
+      -> Result<std::vector<sets::ElementId>> {
+    return sets::ParseQueryLine(line, *dict);
+  };
+
+  if (task == TaskNames::kCardinality) {
+    auto est = core::LearnedCardinalityEstimator::Load(&*reader);
+    if (!est.ok()) return Fail(out, est.status().ToString());
+    for (const auto& line : queries) {
+      auto q = parse(line);
+      if (!q.ok()) {
+        out << line << " -> 0 (contains unseen element)\n";
+        continue;
+      }
+      out << line << " -> "
+          << est->Estimate({q->data(), q->size()}) << "\n";
+    }
+    return 0;
+  }
+  if (task == TaskNames::kIndex) {
+    // Index bundles its collection; keep it alive next to the index.
+    auto collection = sets::SetCollection::Load(&*reader);
+    if (!collection.ok()) return Fail(out, collection.status().ToString());
+    auto index = core::LearnedSetIndex::Load(&*reader, *collection);
+    if (!index.ok()) return Fail(out, index.status().ToString());
+    for (const auto& line : queries) {
+      auto q = parse(line);
+      if (!q.ok()) {
+        out << line << " -> not found (contains unseen element)\n";
+        continue;
+      }
+      int64_t pos = index->Lookup({q->data(), q->size()});
+      if (pos < 0) {
+        out << line << " -> not found\n";
+      } else {
+        out << line << " -> position " << pos << "\n";
+      }
+    }
+    return 0;
+  }
+  if (task == TaskNames::kBloom) {
+    auto lbf = core::LearnedBloomFilter::Load(&*reader);
+    if (!lbf.ok()) return Fail(out, lbf.status().ToString());
+    for (const auto& line : queries) {
+      auto q = parse(line);
+      if (!q.ok()) {
+        out << line << " -> absent (contains unseen element)\n";
+        continue;
+      }
+      out << line << " -> "
+          << (lbf->MayContain({q->data(), q->size()}) ? "maybe present"
+                                                      : "absent")
+          << "\n";
+    }
+    return 0;
+  }
+  return Fail(out, "unknown task: " + task);
+}
+
+constexpr char kUsage[] =
+    "usage: los <command> [--key=value ...]\n"
+    "commands:\n"
+    "  generate --dataset=<name> --output=F [--scale=S] [--seed=N]\n"
+    "  stats    --input=F\n"
+    "  build    --task=<cardinality|index|bloom> --input=F --output=M\n"
+    "           [--compressed] [--hybrid] [--epochs=N]\n"
+    "           [--max-subset-size=K] [--keep-fraction=P]\n"
+    "  query    --task=<...> --model=M --query=\"a b c\" [--query=...]\n";
+
+}  // namespace
+
+ArgParser::ArgParser(const std::vector<std::string>& args) {
+  for (const auto& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_.emplace_back(arg.substr(2), "");
+      } else {
+        kv_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else if (command_.empty()) {
+      command_ = arg;
+    }
+  }
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t fallback) const {
+  std::string v = GetString(key);
+  if (v.empty()) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& key, double fallback) const {
+  std::string v = GetString(key);
+  if (v.empty()) return fallback;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool ArgParser::HasFlag(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ArgParser::GetAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::UnknownKeys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  ArgParser parser(args);
+  const std::string& cmd = parser.command();
+  if (cmd.empty() || cmd == "help") {
+    out << kUsage;
+    return cmd.empty() ? 1 : 0;
+  }
+  if (cmd == "generate") return CmdGenerate(parser, out);
+  if (cmd == "stats") return CmdStats(parser, out);
+  if (cmd == "build") return CmdBuild(parser, out);
+  if (cmd == "query") return CmdQuery(parser, out);
+  out << "unknown command: " << cmd << "\n" << kUsage;
+  return 1;
+}
+
+}  // namespace los::cli

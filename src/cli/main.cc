@@ -1,0 +1,12 @@
+// `los` — the command-line front end. See cli/cli.h for commands.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return los::cli::RunCli(args, std::cout);
+}

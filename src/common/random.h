@@ -1,0 +1,80 @@
+#ifndef LOS_COMMON_RANDOM_H_
+#define LOS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace los {
+
+/// \brief Deterministic xoshiro256**-based pseudo-random generator.
+///
+/// All stochastic components of the library (dataset generation, parameter
+/// initialization, negative sampling, mini-batch shuffling) draw from this
+/// generator so that runs are reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// \brief Zipf-distributed sampler over {0, 1, ..., n-1}.
+///
+/// Item rank r is drawn with probability proportional to 1/(r+1)^s. Uses the
+/// classic rejection-inversion method (Hormann & Derflinger), O(1) per draw,
+/// so it scales to multi-million-element universes.
+class ZipfSampler {
+ public:
+  /// \param n universe size (must be >= 1)
+  /// \param s skew parameter (>= 0; 0 is uniform, ~1 is classic Zipf)
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dividing_point_;
+};
+
+}  // namespace los
+
+#endif  // LOS_COMMON_RANDOM_H_

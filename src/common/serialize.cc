@@ -1,0 +1,42 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace los {
+
+Status BinaryWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  size_t written = std::fwrite(bytes_.data(), 1, bytes_.size(), f);
+  std::fclose(f);
+  if (written != bytes_.size()) {
+    return Status::IoError("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return Status::IoError("short read from: " + path);
+  return BinaryReader(std::move(bytes));
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  if (*n > bytes_.size() - pos_) {  // avoids pos_ + *n overflow
+    return Status::OutOfRange("truncated string in binary buffer");
+  }
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), *n);
+  pos_ += *n;
+  return s;
+}
+
+}  // namespace los

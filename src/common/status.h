@@ -1,0 +1,124 @@
+#ifndef LOS_COMMON_STATUS_H_
+#define LOS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace los {
+
+/// \brief Error categories used across the library.
+///
+/// Follows the Arrow/RocksDB convention of returning a `Status` (or a
+/// `Result<T>`) instead of throwing exceptions. All fallible public APIs in
+/// this library return one of the two.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Outcome of an operation: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "InvalidArgument: embedding dim must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors `arrow::Result`: check `ok()` before calling `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Returns the error; OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define LOS_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::los::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs`, propagating errors.
+#define LOS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto LOS_CONCAT_(_res, __LINE__) = (expr);       \
+  if (!LOS_CONCAT_(_res, __LINE__).ok())           \
+    return LOS_CONCAT_(_res, __LINE__).status();   \
+  lhs = std::move(LOS_CONCAT_(_res, __LINE__)).value()
+
+#define LOS_CONCAT_IMPL_(a, b) a##b
+#define LOS_CONCAT_(a, b) LOS_CONCAT_IMPL_(a, b)
+
+}  // namespace los
+
+#endif  // LOS_COMMON_STATUS_H_

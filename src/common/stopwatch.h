@@ -1,0 +1,34 @@
+#ifndef LOS_COMMON_STOPWATCH_H_
+#define LOS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace los {
+
+/// \brief Monotonic wall-clock stopwatch used by benches and build-time
+/// accounting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace los
+
+#endif  // LOS_COMMON_STOPWATCH_H_

@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace los {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t min_chunk) {
+  if (n == 0) return;
+  size_t num_chunks = (n + min_chunk - 1) / min_chunk;
+  if (num_chunks > workers_.size()) num_chunks = workers_.size();
+  if (num_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<size_t> remaining(num_chunks);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(n, begin + chunk);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool* ThreadPool::Global() {
+  // Function-local static pointer: never destroyed, avoiding shutdown-order
+  // issues (see style guide on static storage duration).
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace los

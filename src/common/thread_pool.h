@@ -1,0 +1,49 @@
+#ifndef LOS_COMMON_THREAD_POOL_H_
+#define LOS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace los {
+
+/// \brief Minimal fixed-size thread pool used to parallelize batched GEMMs
+/// and data generation. Tasks are `void()` closures; `ParallelFor` splits an
+/// index range into contiguous chunks.
+class ThreadPool {
+ public:
+  /// \param num_threads 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(begin, end)` over disjoint chunks of [0, n) and blocks until
+  /// all chunks complete. Falls back to inline execution for tiny ranges.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                   size_t min_chunk = 1024);
+
+  /// Process-wide default pool (created on first use).
+  static ThreadPool* Global();
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace los
+
+#endif  // LOS_COMMON_THREAD_POOL_H_

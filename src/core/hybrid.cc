@@ -1,0 +1,110 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace los::core {
+
+LocalErrorBounds LocalErrorBounds::Build(const std::vector<double>& estimates,
+                                         const std::vector<double>& truths,
+                                         double range_length) {
+  assert(estimates.size() == truths.size());
+  LocalErrorBounds b;
+  b.range_length_ = std::max(range_length, 1.0);
+  if (estimates.empty()) {
+    b.errors_.assign(1, 0.0);
+    return b;
+  }
+  double lo = *std::min_element(estimates.begin(), estimates.end());
+  double hi = *std::max_element(estimates.begin(), estimates.end());
+  b.min_val_ = lo;
+  size_t num_ranges =
+      static_cast<size_t>((hi - lo) / b.range_length_) + 1;
+  b.errors_.assign(num_ranges, 0.0);
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    size_t r = b.RangeOf(estimates[i]);
+    double err = std::abs(estimates[i] - truths[i]);
+    b.errors_[r] = std::max(b.errors_[r], err);
+  }
+  return b;
+}
+
+size_t LocalErrorBounds::RangeOf(double estimate) const {
+  if (errors_.empty()) return 0;
+  double offset = (estimate - min_val_) / range_length_;
+  if (offset < 0.0) return 0;
+  size_t r = static_cast<size_t>(offset);
+  return std::min(r, errors_.size() - 1);
+}
+
+double LocalErrorBounds::ErrorFor(double estimate) const {
+  if (errors_.empty()) return 0.0;
+  return errors_[RangeOf(estimate)];
+}
+
+double LocalErrorBounds::GlobalMaxError() const {
+  double m = 0.0;
+  for (double e : errors_) m = std::max(m, e);
+  return m;
+}
+
+double LocalErrorBounds::AverageError() const {
+  if (errors_.empty()) return 0.0;
+  double s = 0.0;
+  for (double e : errors_) s += e;
+  return s / static_cast<double>(errors_.size());
+}
+
+void LocalErrorBounds::Save(BinaryWriter* w) const {
+  w->WriteF64(min_val_);
+  w->WriteF64(range_length_);
+  w->WriteVector(errors_);
+}
+
+Result<LocalErrorBounds> LocalErrorBounds::Load(BinaryReader* r) {
+  auto mv = r->ReadF64();
+  if (!mv.ok()) return mv.status();
+  auto rl = r->ReadF64();
+  if (!rl.ok()) return rl.status();
+  auto errs = r->ReadVector<double>();
+  if (!errs.ok()) return errs.status();
+  LocalErrorBounds b;
+  b.min_val_ = *mv;
+  b.range_length_ = *rl;
+  b.errors_ = std::move(*errs);
+  return b;
+}
+
+size_t OutlierMap::MemoryBytes() const {
+  if (map_.empty()) return 0;
+  size_t bytes = map_.bucket_count() * sizeof(void*);
+  for (const auto& [key, value] : map_) {
+    bytes += sizeof(void*) + sizeof(size_t) + key.MemoryBytes() + sizeof(value);
+  }
+  return bytes;
+}
+
+void OutlierMap::Save(BinaryWriter* w) const {
+  w->WriteU64(map_.size());
+  for (const auto& [key, value] : map_) {
+    w->WriteVector(key.elements);
+    w->WriteF64(value);
+  }
+}
+
+Result<OutlierMap> OutlierMap::Load(BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  OutlierMap m;
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto elems = r->ReadVector<sets::ElementId>();
+    if (!elems.ok()) return elems.status();
+    auto value = r->ReadF64();
+    if (!value.ok()) return value.status();
+    m.map_[sets::SetKey(std::move(*elems))] = *value;
+  }
+  return m;
+}
+
+}  // namespace los::core

@@ -1,0 +1,144 @@
+#include "core/learned_bloom.h"
+
+#include <algorithm>
+
+#include "baselines/inverted_index.h"
+#include "common/stopwatch.h"
+
+namespace los::core {
+
+Result<LearnedBloomFilter> LearnedBloomFilter::Build(
+    const sets::SetCollection& collection, const BloomOptions& opts,
+    const std::function<bool(sets::SetView)>* contains) {
+  if (collection.empty()) return Status::InvalidArgument("empty collection");
+
+  sets::SubsetGenOptions gen;
+  gen.max_subset_size = opts.max_subset_size;
+  sets::LabeledSubsets positives = EnumerateLabeledSubsets(collection, gen);
+  if (positives.empty()) return Status::InvalidArgument("no positives");
+
+  // Negative training data: combinations whose co-occurrence is absent
+  // (§7.1.2). Reject candidates via an exact containment oracle.
+  std::unique_ptr<baselines::InvertedIndex> own_index;
+  std::function<bool(sets::SetView)> contains_fn;
+  if (contains != nullptr) {
+    contains_fn = *contains;
+  } else {
+    own_index = std::make_unique<baselines::InvertedIndex>(collection);
+    baselines::InvertedIndex* idx = own_index.get();
+    contains_fn = [idx](sets::SetView q) { return idx->Contains(q); };
+  }
+  Rng rng(opts.train.seed);
+  size_t num_neg = static_cast<size_t>(
+      static_cast<double>(positives.size()) * opts.negatives_per_positive);
+  std::vector<sets::Query> negatives = sets::SampleNegativeQueries(
+      collection.universe_size(), opts.max_subset_size, num_neg, contains_fn,
+      &rng);
+
+  LearnedBloomFilter lbf;
+  lbf.threshold_ = opts.threshold;
+  auto model = MakeSetModel(opts.model,
+                            static_cast<int64_t>(collection.universe_size()));
+  if (!model.ok()) return model.status();
+  lbf.model_ = std::move(*model);
+
+  TrainingSet data = TrainingSet::FromMembership(positives, negatives);
+  TrainConfig train = opts.train;
+  train.loss = LossKind::kBce;
+
+  Stopwatch sw;
+  Trainer trainer(train);
+  trainer.Train(lbf.model_.get(), data);
+
+  // Backup filter over the model's false negatives — restores the classic
+  // guarantee of no false negatives for the indexed subsets.
+  std::vector<size_t> pos_idx(positives.size());
+  for (size_t i = 0; i < positives.size(); ++i) pos_idx[i] = i;
+  std::vector<double> probs = trainer.PredictScaled(lbf.model_.get(), data,
+                                                    pos_idx);
+  std::vector<size_t> false_negatives;
+  for (size_t i = 0; i < pos_idx.size(); ++i) {
+    if (probs[i] < lbf.threshold_) false_negatives.push_back(pos_idx[i]);
+  }
+  lbf.backup_ = baselines::BloomFilter(
+      std::max<size_t>(false_negatives.size(), 1), opts.backup_fp_rate);
+  for (size_t idx : false_negatives) {
+    lbf.backup_.Insert(data.subset(idx));
+  }
+  lbf.train_seconds_ = sw.ElapsedSeconds();
+  return lbf;
+}
+
+void LearnedBloomFilter::Save(BinaryWriter* w) const {
+  SaveSetModel(*model_, w);
+  w->WriteF64(threshold_);
+  backup_.Save(w);
+}
+
+Result<LearnedBloomFilter> LearnedBloomFilter::Load(BinaryReader* r) {
+  LearnedBloomFilter lbf;
+  auto model = LoadSetModel(r);
+  if (!model.ok()) return model.status();
+  lbf.model_ = std::move(*model);
+  auto th = r->ReadF64();
+  if (!th.ok()) return th.status();
+  lbf.threshold_ = *th;
+  auto backup = baselines::BloomFilter::Load(r);
+  if (!backup.ok()) return backup.status();
+  lbf.backup_ = std::move(*backup);
+  return lbf;
+}
+
+LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
+    const std::vector<sets::Query>& queries) {
+  MultiResult result;
+  result.verdicts.assign(queries.size(), false);
+  // Partition: OOV queries are definitively absent; the rest go through one
+  // batched forward pass, with backup-filter fallback per negative.
+  std::vector<size_t> model_queries;
+  std::vector<sets::ElementId> ids;
+  std::vector<int64_t> offsets{0};
+  const int64_t vocab = model_->vocab();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sets::SetView q = queries[i].view();
+    bool oov = false;
+    for (sets::ElementId e : q) {
+      if (static_cast<int64_t>(e) >= vocab) {
+        oov = true;
+        break;
+      }
+    }
+    if (oov) continue;
+    model_queries.push_back(i);
+    ids.insert(ids.end(), q.begin(), q.end());
+    offsets.push_back(static_cast<int64_t>(ids.size()));
+  }
+  if (!model_queries.empty()) {
+    const nn::Tensor& pred = model_->Forward(ids, offsets);
+    for (size_t k = 0; k < model_queries.size(); ++k) {
+      size_t i = model_queries[k];
+      bool verdict = pred(static_cast<int64_t>(k), 0) >=
+                     static_cast<float>(threshold_);
+      if (!verdict) verdict = backup_.MayContain(queries[i].view());
+      result.verdicts[i] = verdict;
+    }
+  }
+  for (bool v : result.verdicts) {
+    result.all = result.all && v;
+    result.any = result.any || v;
+  }
+  if (queries.empty()) result.all = true;
+  return result;
+}
+
+bool LearnedBloomFilter::MayContain(sets::SetView q) {
+  // Elements outside the training universe cannot be in any indexed set —
+  // and the model has no embedding for them.
+  for (sets::ElementId e : q) {
+    if (static_cast<int64_t>(e) >= model_->vocab()) return false;
+  }
+  if (model_->PredictOne(q) >= threshold_) return true;
+  return backup_.MayContain(q);
+}
+
+}  // namespace los::core

@@ -1,0 +1,88 @@
+#ifndef LOS_CORE_LEARNED_BLOOM_H_
+#define LOS_CORE_LEARNED_BLOOM_H_
+
+#include <functional>
+#include <memory>
+
+#include "baselines/bloom_filter.h"
+#include "core/model_factory.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "sets/subset_gen.h"
+#include "sets/workload.h"
+
+namespace los::core {
+
+/// Build options for the learned set Bloom filter (§4.3).
+struct BloomOptions {
+  ModelOptions model;  ///< paper: embedding 2, two 8-neuron layers
+  TrainConfig train;   ///< loss forced to BCE
+  size_t max_subset_size = 4;  ///< membership guarantee bound (§7.1.2)
+  double negatives_per_positive = 1.0;  ///< negative-sample ratio
+  double threshold = 0.5;       ///< classification cut-off τ
+  double backup_fp_rate = 0.1;  ///< backup filter sizing
+
+  BloomOptions() {
+    model.embed_dim = 2;
+    model.phi_hidden = {8};
+    model.rho_hidden = {8};
+    train.loss = LossKind::kBce;
+  }
+};
+
+/// \brief Learned set Bloom filter: classification DeepSets model plus a
+/// backup Bloom filter holding the model's false negatives, so that — like
+/// a classical Bloom filter — no trained positive is ever reported absent.
+class LearnedBloomFilter {
+ public:
+  /// Builds from a collection. Positives are all subsets up to
+  /// `max_subset_size`; negatives are sampled element combinations rejected
+  /// against `contains` (pass an InvertedIndex probe; nullptr builds one
+  /// internally).
+  static Result<LearnedBloomFilter> Build(
+      const sets::SetCollection& collection, const BloomOptions& opts,
+      const std::function<bool(sets::SetView)>* contains = nullptr);
+
+  /// Membership verdict for sorted `q`: model probability >= τ, else the
+  /// backup filter.
+  bool MayContain(sets::SetView q);
+
+  /// Raw model probability.
+  double Probability(sets::SetView q) { return model_->PredictOne(q); }
+
+  /// Multi-membership querying (the paper's future-work direction): one
+  /// batched model forward for many queries. verdicts[i] matches
+  /// MayContain(queries[i]); `all`/`any` aggregate them.
+  struct MultiResult {
+    std::vector<bool> verdicts;
+    bool all = true;
+    bool any = false;
+  };
+  MultiResult MayContainMulti(const std::vector<sets::Query>& queries);
+
+  deepsets::SetModel* model() { return model_.get(); }
+  double threshold() const { return threshold_; }
+  size_t num_false_negatives() const { return backup_.inserted(); }
+
+  size_t ModelBytes() const { return model_->ByteSize(); }
+  size_t BackupBytes() const { return backup_.MemoryBytes(); }
+  size_t TotalBytes() const { return ModelBytes() + BackupBytes(); }
+
+  double train_seconds() const { return train_seconds_; }
+
+  /// Persists the classifier, threshold and backup filter.
+  void Save(BinaryWriter* w) const;
+  static Result<LearnedBloomFilter> Load(BinaryReader* r);
+
+ private:
+  LearnedBloomFilter() : backup_(1, 0.1) {}
+
+  std::unique_ptr<deepsets::SetModel> model_;
+  baselines::BloomFilter backup_;
+  double threshold_ = 0.5;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace los::core
+
+#endif  // LOS_CORE_LEARNED_BLOOM_H_

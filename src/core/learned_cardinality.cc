@@ -1,0 +1,129 @@
+#include "core/learned_cardinality.h"
+
+#include "common/stopwatch.h"
+
+namespace los::core {
+
+Result<LearnedCardinalityEstimator> LearnedCardinalityEstimator::Build(
+    const sets::SetCollection& collection, const CardinalityOptions& opts) {
+  sets::SubsetGenOptions gen;
+  gen.max_subset_size = opts.max_subset_size;
+  sets::LabeledSubsets subsets = EnumerateLabeledSubsets(collection, gen);
+  return BuildFromSubsets(subsets,
+                          static_cast<int64_t>(collection.universe_size()),
+                          opts);
+}
+
+Result<LearnedCardinalityEstimator>
+LearnedCardinalityEstimator::BuildFromSubsets(
+    const sets::LabeledSubsets& subsets, int64_t universe_size,
+    const CardinalityOptions& opts) {
+  if (subsets.empty()) {
+    return Status::InvalidArgument("no training subsets");
+  }
+  LearnedCardinalityEstimator est;
+  // The max cardinality is the largest single-element cardinality (§4.2);
+  // min is 1 by construction.
+  est.scaler_ = TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+
+  auto model = MakeSetModel(opts.model, universe_size);
+  if (!model.ok()) return model.status();
+  est.model_ = std::move(*model);
+
+  TrainingSet data = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, est.scaler_);
+
+  TrainConfig train = opts.train;
+  train.qerror_span = est.scaler_.span();
+
+  Stopwatch sw;
+  if (opts.hybrid) {
+    GuidedConfig guided;
+    guided.train = train;
+    guided.rounds = opts.guided_rounds;
+    guided.keep_fraction = opts.keep_fraction;
+    GuidedResult res = TrainGuided(est.model_.get(), &data, est.scaler_,
+                                   guided);
+    for (size_t idx : res.outliers) {
+      est.aux_.Put(data.subset(idx), data.raw_target(idx));
+    }
+    est.final_train_qerror_ = res.final_avg_qerror;
+  } else {
+    Trainer trainer(train);
+    trainer.Train(est.model_.get(), data);
+    est.final_train_qerror_ = EvaluateAvgQError(
+        est.model_.get(), data, est.scaler_, data.ActiveIndices());
+  }
+  est.train_seconds_ = sw.ElapsedSeconds();
+  return est;
+}
+
+void LearnedCardinalityEstimator::Save(BinaryWriter* w) const {
+  SaveSetModel(*model_, w);
+  scaler_.Save(w);
+  aux_.Save(w);
+}
+
+Result<LearnedCardinalityEstimator> LearnedCardinalityEstimator::Load(
+    BinaryReader* r) {
+  LearnedCardinalityEstimator est;
+  auto model = LoadSetModel(r);
+  if (!model.ok()) return model.status();
+  est.model_ = std::move(*model);
+  auto scaler = TargetScaler::Load(r);
+  if (!scaler.ok()) return scaler.status();
+  est.scaler_ = *scaler;
+  auto aux = OutlierMap::Load(r);
+  if (!aux.ok()) return aux.status();
+  est.aux_ = std::move(*aux);
+  return est;
+}
+
+double LearnedCardinalityEstimator::Estimate(sets::SetView q) {
+  if (auto exact = aux_.Get(q)) return *exact;
+  // Unseen elements occur in no set, so any superset query has cardinality
+  // zero; the model has no embedding for them either.
+  for (sets::ElementId e : q) {
+    if (static_cast<int64_t>(e) >= model_->vocab()) return 0.0;
+  }
+  return scaler_.Unscale(model_->PredictOne(q));
+}
+
+std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
+    const std::vector<sets::Query>& queries) {
+  std::vector<double> out(queries.size(), 0.0);
+  // Resolve aux hits and OOV queries first; batch the rest through the
+  // model in one CSR forward pass.
+  std::vector<size_t> model_queries;
+  std::vector<sets::ElementId> ids;
+  std::vector<int64_t> offsets{0};
+  const int64_t vocab = model_->vocab();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sets::SetView q = queries[i].view();
+    if (auto exact = aux_.Get(q)) {
+      out[i] = *exact;
+      continue;
+    }
+    bool oov = false;
+    for (sets::ElementId e : q) {
+      if (static_cast<int64_t>(e) >= vocab) {
+        oov = true;
+        break;
+      }
+    }
+    if (oov) continue;  // stays 0
+    model_queries.push_back(i);
+    ids.insert(ids.end(), q.begin(), q.end());
+    offsets.push_back(static_cast<int64_t>(ids.size()));
+  }
+  if (!model_queries.empty()) {
+    const nn::Tensor& pred = model_->Forward(ids, offsets);
+    for (size_t k = 0; k < model_queries.size(); ++k) {
+      out[model_queries[k]] =
+          scaler_.Unscale(static_cast<double>(pred(static_cast<int64_t>(k), 0)));
+    }
+  }
+  return out;
+}
+
+}  // namespace los::core

@@ -1,0 +1,242 @@
+#include "core/learned_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "sets/subset_gen.h"
+#include "nn/losses.h"
+#include "sets/set_hash.h"
+
+namespace los::core {
+
+Result<LearnedSetIndex> LearnedSetIndex::Build(
+    const sets::SetCollection& collection, const IndexOptions& opts) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("empty collection");
+  }
+  sets::SubsetGenOptions gen;
+  gen.max_subset_size = opts.max_subset_size;
+  sets::LabeledSubsets subsets = EnumerateLabeledSubsets(collection, gen);
+  if (subsets.empty()) return Status::InvalidArgument("no training subsets");
+
+  LearnedSetIndex index;
+  index.collection_ = &collection;
+  index.fallback_full_scan_ = opts.fallback_full_scan;
+  index.aux_ = baselines::BPlusTree(opts.aux_branching_factor);
+  index.scaler_ =
+      TargetScaler::FitRange(0.0, static_cast<double>(collection.size() - 1));
+
+  auto model = MakeSetModel(opts.model,
+                            static_cast<int64_t>(collection.universe_size()));
+  if (!model.ok()) return model.status();
+  index.model_ = std::move(*model);
+
+  TrainingSet data = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kFirstPosition, index.scaler_);
+
+  TrainConfig train = opts.train;
+  train.qerror_span = index.scaler_.span();
+
+  Stopwatch sw;
+  if (opts.hybrid) {
+    GuidedConfig guided;
+    guided.train = train;
+    guided.rounds = opts.guided_rounds;
+    guided.keep_fraction = opts.keep_fraction;
+    GuidedResult res =
+        TrainGuided(index.model_.get(), &data, index.scaler_, guided);
+    for (size_t idx : res.outliers) {
+      index.aux_.Insert(sets::HashSetSorted(data.subset(idx)),
+                        static_cast<uint64_t>(data.raw_target(idx)));
+    }
+    index.num_outliers_ = res.outliers.size();
+  } else {
+    Trainer trainer(train);
+    trainer.Train(index.model_.get(), data);
+  }
+  index.train_seconds_ = sw.ElapsedSeconds();
+
+  // Local error bounds + final accuracy over the *retained* subsets.
+  std::vector<size_t> active = data.ActiveIndices();
+  Trainer eval(train);
+  std::vector<double> preds =
+      eval.PredictScaled(index.model_.get(), data, active);
+  std::vector<double> estimates(active.size());
+  std::vector<double> truths(active.size());
+  double q_sum = 0.0, abs_sum = 0.0;
+  for (size_t i = 0; i < active.size(); ++i) {
+    double est = std::round(index.scaler_.Unscale(preds[i]));
+    double truth = data.raw_target(active[i]);
+    estimates[i] = est;
+    truths[i] = truth;
+    q_sum += nn::QError(est + 1.0, truth + 1.0);  // positions are 0-based
+    abs_sum += std::abs(est - truth);
+  }
+  if (!active.empty()) {
+    index.final_train_qerror_ = q_sum / static_cast<double>(active.size());
+    index.final_train_abs_error_ =
+        abs_sum / static_cast<double>(active.size());
+  }
+  index.bounds_ =
+      LocalErrorBounds::Build(estimates, truths, opts.error_range_length);
+  return index;
+}
+
+void LearnedSetIndex::Save(BinaryWriter* w) const {
+  SaveSetModel(*model_, w);
+  scaler_.Save(w);
+  bounds_.Save(w);
+  aux_.Save(w);
+  w->WriteU64(num_outliers_);
+  w->WriteU32(fallback_full_scan_ ? 1 : 0);
+}
+
+Result<LearnedSetIndex> LearnedSetIndex::Load(
+    BinaryReader* r, const sets::SetCollection& collection) {
+  LearnedSetIndex index;
+  index.collection_ = &collection;
+  auto model = LoadSetModel(r);
+  if (!model.ok()) return model.status();
+  index.model_ = std::move(*model);
+  auto scaler = TargetScaler::Load(r);
+  if (!scaler.ok()) return scaler.status();
+  index.scaler_ = *scaler;
+  auto bounds = LocalErrorBounds::Load(r);
+  if (!bounds.ok()) return bounds.status();
+  index.bounds_ = std::move(*bounds);
+  auto aux = baselines::BPlusTree::Load(r);
+  if (!aux.ok()) return aux.status();
+  index.aux_ = std::move(*aux);
+  auto outliers = r->ReadU64();
+  if (!outliers.ok()) return outliers.status();
+  index.num_outliers_ = *outliers;
+  auto fb = r->ReadU32();
+  if (!fb.ok()) return fb.status();
+  index.fallback_full_scan_ = *fb != 0;
+  return index;
+}
+
+int64_t LearnedSetIndex::EstimatePosition(sets::SetView q) {
+  double est = std::round(scaler_.Unscale(model_->PredictOne(q)));
+  est = std::clamp(est, 0.0, static_cast<double>(collection_->size() - 1));
+  return static_cast<int64_t>(est);
+}
+
+int64_t LearnedSetIndex::LookupEqual(sets::SetView q, LookupStats* stats) {
+  // Auxiliary probe: verify exact equality at the stored position.
+  auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
+  if (aux_pos.has_value()) {
+    sets::SetView s = collection_->set(static_cast<size_t>(*aux_pos));
+    if (s.size() == q.size() && std::equal(s.begin(), s.end(), q.begin())) {
+      if (stats != nullptr) {
+        stats->aux_hit = true;
+        stats->estimate = static_cast<int64_t>(*aux_pos);
+        stats->scan_width = 0;
+      }
+      return static_cast<int64_t>(*aux_pos);
+    }
+  }
+  for (sets::ElementId e : q) {
+    if (static_cast<int64_t>(e) >= model_->vocab()) {
+      return fallback_full_scan_
+                 ? collection_->FindFirstEqual(q, 0, collection_->size())
+                 : -1;
+    }
+  }
+  int64_t est = EstimatePosition(q);
+  double e_r = bounds_.ErrorFor(static_cast<double>(est));
+  int64_t lo = std::max<int64_t>(0, est - static_cast<int64_t>(e_r));
+  int64_t hi = std::min<int64_t>(static_cast<int64_t>(collection_->size()),
+                                 est + static_cast<int64_t>(e_r) + 1);
+  if (stats != nullptr) {
+    stats->aux_hit = false;
+    stats->estimate = est;
+    stats->scan_width = hi - lo;
+  }
+  int64_t pos = collection_->FindFirstEqual(q, static_cast<size_t>(lo),
+                                            static_cast<size_t>(hi));
+  if (pos < 0 && fallback_full_scan_) {
+    pos = collection_->FindFirstEqual(q, 0, collection_->size());
+  }
+  return pos;
+}
+
+size_t LearnedSetIndex::AbsorbUpdatedSet(size_t position,
+                                         size_t max_subset_size) {
+  if (position >= collection_->size()) return 0;
+  size_t routed = 0;
+  sets::ForEachSubset(collection_->set(position), max_subset_size,
+                      [&](sets::SetView sub) {
+                        // If the bounded search already finds a (first)
+                        // superset, the error bounds still cover this
+                        // subset; otherwise route it to the aux structure.
+                        int64_t found = Lookup(sub);
+                        if (found >= 0 &&
+                            found <= static_cast<int64_t>(position)) {
+                          return;
+                        }
+                        aux_.Insert(sets::HashSetSorted(sub),
+                                    static_cast<uint64_t>(position));
+                        ++routed;
+                      });
+  updates_absorbed_ += routed;
+  return routed;
+}
+
+int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
+  // Algorithm 2, line 2: auxiliary structure first. Hash collisions are
+  // guarded by verifying containment at the stored position.
+  auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
+  if (aux_pos.has_value() &&
+      collection_->SetContainsSorted(static_cast<size_t>(*aux_pos), q)) {
+    if (stats != nullptr) {
+      stats->aux_hit = true;
+      stats->estimate = static_cast<int64_t>(*aux_pos);
+      stats->scan_width = 0;
+    }
+    return static_cast<int64_t>(*aux_pos);
+  }
+  // Elements beyond the model's vocabulary (inserted by updates after the
+  // build, §7.2) can only be answered by the auxiliary structure or a full
+  // scan — the model has no embedding for them.
+  for (sets::ElementId e : q) {
+    if (static_cast<int64_t>(e) >= model_->vocab()) {
+      if (stats != nullptr) {
+        stats->aux_hit = false;
+        stats->estimate = -1;
+        stats->scan_width =
+            fallback_full_scan_ ? static_cast<int64_t>(collection_->size())
+                                : 0;
+      }
+      if (fallback_full_scan_) {
+        return collection_->FindFirstSuperset(q, 0, collection_->size());
+      }
+      return -1;
+    }
+  }
+  // Lines 4-7: model estimate + bounded local scan, left to right so the
+  // *first* superset position is returned.
+  int64_t est = EstimatePosition(q);
+  double e_r = bounds_.ErrorFor(static_cast<double>(est));
+  int64_t lo = std::max<int64_t>(0, est - static_cast<int64_t>(e_r));
+  int64_t hi = std::min<int64_t>(static_cast<int64_t>(collection_->size()),
+                                 est + static_cast<int64_t>(e_r) + 1);
+  if (stats != nullptr) {
+    stats->aux_hit = false;
+    stats->estimate = est;
+    stats->scan_width = hi - lo;
+  }
+  int64_t pos = collection_->FindFirstSuperset(q, static_cast<size_t>(lo),
+                                               static_cast<size_t>(hi));
+  if (pos >= 0) return pos;
+  if (fallback_full_scan_) {
+    pos = collection_->FindFirstSuperset(q, 0, collection_->size());
+    if (stats != nullptr) {
+      stats->scan_width += static_cast<int64_t>(collection_->size());
+    }
+  }
+  return pos;
+}
+
+}  // namespace los::core

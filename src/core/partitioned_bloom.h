@@ -1,0 +1,59 @@
+#ifndef LOS_CORE_PARTITIONED_BLOOM_H_
+#define LOS_CORE_PARTITIONED_BLOOM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/bloom_filter.h"
+#include "core/learned_bloom.h"
+
+namespace los::core {
+
+/// Build options for the partitioned learned Bloom filter.
+struct PartitionedBloomOptions {
+  BloomOptions learned;   ///< classifier training settings
+  int num_regions = 4;    ///< score partitions
+  double region_fp = 0.05;  ///< per-region backup fp target
+};
+
+/// \brief Partitioned learned Bloom filter (Vaidya et al. 2021, from the
+/// paper's Related Work): the classifier's score range is cut into regions,
+/// and each region gets its own backup Bloom filter sized to the positives
+/// that land there.
+///
+/// High-score regions hold most positives and barely need a backup;
+/// low-score regions hold few positives, so their backups are tiny too —
+/// overall memory beats a single threshold + one backup at matched
+/// false-positive behaviour. Positives are never reported absent.
+class PartitionedBloomFilter {
+ public:
+  static Result<PartitionedBloomFilter> Build(
+      const sets::SetCollection& collection,
+      const PartitionedBloomOptions& opts);
+
+  /// Membership verdict: look up the score's region; the region's backup
+  /// filter decides (the top region accepts outright).
+  bool MayContain(sets::SetView q);
+
+  int num_regions() const { return static_cast<int>(backups_.size()) + 1; }
+  deepsets::SetModel* model() { return model_.get(); }
+
+  size_t ModelBytes() const { return model_->ByteSize(); }
+  size_t BackupBytes() const;
+  size_t TotalBytes() const { return ModelBytes() + BackupBytes(); }
+
+ private:
+  PartitionedBloomFilter() = default;
+
+  /// Region of a score: index i such that score < boundaries_[i]; scores at
+  /// or above the last boundary are in the accept-all top region.
+  size_t RegionOf(double score) const;
+
+  std::unique_ptr<deepsets::SetModel> model_;
+  std::vector<double> boundaries_;  ///< ascending score cut points
+  std::vector<baselines::BloomFilter> backups_;  ///< one per non-top region
+};
+
+}  // namespace los::core
+
+#endif  // LOS_CORE_PARTITIONED_BLOOM_H_

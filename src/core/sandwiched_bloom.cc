@@ -1,0 +1,30 @@
+#include "core/sandwiched_bloom.h"
+
+namespace los::core {
+
+Result<SandwichedBloomFilter> SandwichedBloomFilter::Build(
+    const sets::SetCollection& collection,
+    const SandwichedBloomOptions& opts) {
+  sets::SubsetGenOptions gen;
+  gen.max_subset_size = opts.learned.max_subset_size;
+  sets::LabeledSubsets positives = EnumerateLabeledSubsets(collection, gen);
+  if (positives.empty()) return Status::InvalidArgument("no positives");
+
+  // Pre-filter over all positives with a generous fp rate: small, and every
+  // positive passes through to the learned stage.
+  baselines::BloomFilter pre(positives.size(), opts.pre_filter_fp);
+  for (size_t i = 0; i < positives.size(); ++i) {
+    pre.Insert(positives.subset(i));
+  }
+
+  auto learned = LearnedBloomFilter::Build(collection, opts.learned);
+  if (!learned.ok()) return learned.status();
+  return SandwichedBloomFilter(std::move(pre), std::move(*learned));
+}
+
+bool SandwichedBloomFilter::MayContain(sets::SetView q) {
+  if (!pre_.MayContain(q)) return false;
+  return learned_->MayContain(q);
+}
+
+}  // namespace los::core

@@ -1,0 +1,54 @@
+#ifndef LOS_CORE_SANDWICHED_BLOOM_H_
+#define LOS_CORE_SANDWICHED_BLOOM_H_
+
+#include <memory>
+
+#include "baselines/bloom_filter.h"
+#include "core/learned_bloom.h"
+
+namespace los::core {
+
+/// Build options for the sandwiched learned Bloom filter.
+struct SandwichedBloomOptions {
+  BloomOptions learned;       ///< the inner learned filter
+  double pre_filter_fp = 0.2;  ///< generous pre-filter (cheap, removes easy
+                               ///< negatives before the model runs)
+};
+
+/// \brief Sandwiched learned Bloom filter (Mitzenmacher 2018, discussed in
+/// the paper's Related Work): pre-filter BF → learned model → backup BF.
+///
+/// The pre-filter removes most true negatives before they reach the model,
+/// which both speeds up the common negative path and lets the learned
+/// threshold focus on the harder residual distribution. Like the plain
+/// learned filter, trained positives are never reported absent.
+class SandwichedBloomFilter {
+ public:
+  static Result<SandwichedBloomFilter> Build(
+      const sets::SetCollection& collection,
+      const SandwichedBloomOptions& opts);
+
+  /// Membership verdict: pre-filter says absent → absent; otherwise the
+  /// learned filter (model + backup) decides.
+  bool MayContain(sets::SetView q);
+
+  size_t PreFilterBytes() const { return pre_.MemoryBytes(); }
+  size_t LearnedBytes() const { return learned_->TotalBytes(); }
+  size_t TotalBytes() const { return PreFilterBytes() + LearnedBytes(); }
+
+  LearnedBloomFilter* learned() { return learned_.get(); }
+  const baselines::BloomFilter& pre_filter() const { return pre_; }
+
+ private:
+  SandwichedBloomFilter(baselines::BloomFilter pre,
+                        LearnedBloomFilter learned)
+      : pre_(std::move(pre)),
+        learned_(std::make_unique<LearnedBloomFilter>(std::move(learned))) {}
+
+  baselines::BloomFilter pre_;
+  std::unique_ptr<LearnedBloomFilter> learned_;
+};
+
+}  // namespace los::core
+
+#endif  // LOS_CORE_SANDWICHED_BLOOM_H_

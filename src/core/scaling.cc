@@ -1,0 +1,51 @@
+#include "core/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace los::core {
+
+TargetScaler TargetScaler::Fit(const std::vector<double>& labels) {
+  if (labels.empty()) return FitRange(0.0, 1.0);
+  double lo = labels[0], hi = labels[0];
+  for (double y : labels) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  return FitRange(lo, hi);
+}
+
+TargetScaler TargetScaler::FitRange(double min_label, double max_label) {
+  TargetScaler s;
+  s.lo_ = std::log1p(std::max(min_label, 0.0));
+  s.hi_ = std::log1p(std::max(max_label, 0.0));
+  if (s.hi_ - s.lo_ < 1e-9) s.hi_ = s.lo_ + 1e-9;  // degenerate: one label
+  return s;
+}
+
+double TargetScaler::Scale(double y) const {
+  double v = (std::log1p(std::max(y, 0.0)) - lo_) / (hi_ - lo_);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double TargetScaler::Unscale(double s) const {
+  return std::expm1(lo_ + std::clamp(s, 0.0, 1.0) * (hi_ - lo_));
+}
+
+void TargetScaler::Save(BinaryWriter* w) const {
+  w->WriteF64(lo_);
+  w->WriteF64(hi_);
+}
+
+Result<TargetScaler> TargetScaler::Load(BinaryReader* r) {
+  auto lo = r->ReadF64();
+  if (!lo.ok()) return lo.status();
+  auto hi = r->ReadF64();
+  if (!hi.ok()) return hi.status();
+  TargetScaler s;
+  s.lo_ = *lo;
+  s.hi_ = *hi;
+  return s;
+}
+
+}  // namespace los::core

@@ -1,0 +1,49 @@
+#ifndef LOS_CORE_SCALING_H_
+#define LOS_CORE_SCALING_H_
+
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace los::core {
+
+/// \brief Target transform for the regression tasks (§4.1/§4.2): targets are
+/// log-transformed and min-max scaled into [0, 1] to match the sigmoid
+/// output head.
+///
+/// y_scaled = (log1p(y) - lo) / (hi - lo), with lo/hi fitted from the
+/// minimum/maximum training label. `span() = hi - lo` is the log-space range
+/// the q-error surrogate loss needs.
+class TargetScaler {
+ public:
+  TargetScaler() = default;
+
+  /// Fits lo/hi from raw labels (which must be >= 0).
+  static TargetScaler Fit(const std::vector<double>& labels);
+
+  /// Fits from an explicit [min_label, max_label] range.
+  static TargetScaler FitRange(double min_label, double max_label);
+
+  /// Maps a raw label into [0, 1] (clamped).
+  double Scale(double y) const;
+
+  /// Inverse map from model output back to the original space.
+  double Unscale(double s) const;
+
+  /// hi - lo in log space.
+  double span() const { return hi_ - lo_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  void Save(BinaryWriter* w) const;
+  static Result<TargetScaler> Load(BinaryReader* r);
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+}  // namespace los::core
+
+#endif  // LOS_CORE_SCALING_H_

@@ -1,0 +1,151 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "nn/losses.h"
+
+namespace los::core {
+
+namespace {
+
+double ComputeLoss(LossKind kind, const nn::Tensor& pred,
+                   const nn::Tensor& target, double span, nn::Tensor* dpred) {
+  switch (kind) {
+    case LossKind::kMse:
+      return nn::MseLoss(pred, target, dpred);
+    case LossKind::kMae:
+      return nn::MaeLoss(pred, target, dpred);
+    case LossKind::kQError:
+      return nn::QErrorLoss(pred, target, span, dpred);
+    case LossKind::kBce:
+      return nn::BinaryCrossEntropyLoss(pred, target, dpred);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Trainer::Trainer(const TrainConfig& config) : config_(config) {}
+
+std::vector<EpochStats> Trainer::Train(deepsets::SetModel* model,
+                                       const TrainingSet& data) {
+  std::vector<EpochStats> stats;
+  std::vector<size_t> idx = data.ActiveIndices();
+  if (idx.empty()) return stats;
+
+  Rng rng(config_.seed);
+  nn::Adam optimizer(config_.learning_rate);
+  std::vector<nn::Parameter*> params;
+  model->CollectParameters(&params);
+
+  std::vector<sets::ElementId> ids;
+  std::vector<int64_t> offsets;
+  nn::Tensor targets;
+  nn::Tensor dpred;
+
+  const size_t batch = static_cast<size_t>(std::max(config_.batch_size, 1));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Stopwatch sw;
+    rng.Shuffle(&idx);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t begin = 0; begin < idx.size(); begin += batch) {
+      size_t end = std::min(idx.size(), begin + batch);
+      data.GatherBatch(idx, begin, end, &ids, &offsets, &targets);
+      const nn::Tensor& pred = model->Forward(ids, offsets);
+      epoch_loss += ComputeLoss(config_.loss, pred, targets,
+                                config_.qerror_span, &dpred);
+      model->Backward(dpred);
+      optimizer.Step(params);
+      ++batches;
+    }
+    EpochStats es;
+    es.loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    es.seconds = sw.ElapsedSeconds();
+    stats.push_back(es);
+    if (config_.verbose_every > 0 && (epoch + 1) % config_.verbose_every == 0) {
+      std::printf("  epoch %3d  loss %.6f  (%.2fs, %zu samples)\n", epoch + 1,
+                  es.loss, es.seconds, idx.size());
+    }
+  }
+  return stats;
+}
+
+std::vector<double> Trainer::PredictScaled(
+    deepsets::SetModel* model, const TrainingSet& data,
+    const std::vector<size_t>& idx) const {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  std::vector<sets::ElementId> ids;
+  std::vector<int64_t> offsets;
+  nn::Tensor targets;
+  const size_t batch = 1024;
+  for (size_t begin = 0; begin < idx.size(); begin += batch) {
+    size_t end = std::min(idx.size(), begin + batch);
+    data.GatherBatch(idx, begin, end, &ids, &offsets, &targets);
+    const nn::Tensor& pred = model->Forward(ids, offsets);
+    for (int64_t i = 0; i < pred.rows(); ++i) {
+      out.push_back(static_cast<double>(pred(i, 0)));
+    }
+  }
+  return out;
+}
+
+GuidedResult TrainGuided(deepsets::SetModel* model, TrainingSet* data,
+                         const TargetScaler& scaler,
+                         const GuidedConfig& config) {
+  GuidedResult result;
+  Trainer trainer(config.train);
+  const int rounds = std::max(config.rounds, 1);
+  for (int round = 0; round < rounds; ++round) {
+    auto stats = trainer.Train(model, *data);
+    result.history.insert(result.history.end(), stats.begin(), stats.end());
+    if (round + 1 == rounds) break;  // last round: no eviction afterwards
+
+    // Per-sample q-error in original space on the active set.
+    std::vector<size_t> idx = data->ActiveIndices();
+    if (idx.empty()) break;
+    std::vector<double> preds = trainer.PredictScaled(model, *data, idx);
+    std::vector<double> errors(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      double est = scaler.Unscale(preds[i]);
+      errors[i] = nn::QError(est, data->raw_target(idx[i]));
+    }
+    // Threshold = keep_fraction percentile of the error distribution.
+    std::vector<double> sorted = errors;
+    std::sort(sorted.begin(), sorted.end());
+    size_t cut = static_cast<size_t>(
+        std::clamp(config.keep_fraction, 0.0, 1.0) *
+        static_cast<double>(sorted.size()));
+    if (cut >= sorted.size()) cut = sorted.size() - 1;
+    double threshold =
+        std::max(sorted[cut], config.min_evict_qerror);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (errors[i] > threshold) {
+        data->Deactivate(idx[i]);
+        result.outliers.push_back(idx[i]);
+      }
+    }
+  }
+  result.final_avg_qerror =
+      EvaluateAvgQError(model, *data, scaler, data->ActiveIndices());
+  return result;
+}
+
+double EvaluateAvgQError(deepsets::SetModel* model, const TrainingSet& data,
+                         const TargetScaler& scaler,
+                         const std::vector<size_t>& idx) {
+  if (idx.empty()) return 1.0;
+  Trainer trainer(TrainConfig{});
+  std::vector<double> preds = trainer.PredictScaled(model, data, idx);
+  double total = 0.0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    total += nn::QError(scaler.Unscale(preds[i]), data.raw_target(idx[i]));
+  }
+  return total / static_cast<double>(idx.size());
+}
+
+}  // namespace los::core

@@ -1,0 +1,79 @@
+#include "core/training_data.h"
+
+namespace los::core {
+
+TrainingSet TrainingSet::FromSubsets(const sets::LabeledSubsets& subsets,
+                                     sets::QueryLabel label,
+                                     const TargetScaler& scaler) {
+  TrainingSet ts;
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    double raw = label == sets::QueryLabel::kCardinality
+                     ? subsets.cardinality(i)
+                     : subsets.first_position(i);
+    ts.Append(subsets.subset(i), raw, static_cast<float>(scaler.Scale(raw)));
+  }
+  return ts;
+}
+
+TrainingSet TrainingSet::FromMembership(
+    const sets::LabeledSubsets& positives,
+    const std::vector<sets::Query>& negatives) {
+  TrainingSet ts;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    ts.Append(positives.subset(i), 1.0, 1.0f);
+  }
+  for (const auto& q : negatives) {
+    ts.Append(q.view(), 0.0, 0.0f);
+  }
+  return ts;
+}
+
+void TrainingSet::Append(sets::SetView subset, double raw_target,
+                         float scaled_target) {
+  elements_.insert(elements_.end(), subset.begin(), subset.end());
+  offsets_.push_back(elements_.size());
+  raw_.push_back(raw_target);
+  scaled_.push_back(scaled_target);
+  active_.push_back(1);
+}
+
+size_t TrainingSet::CountActive() const {
+  size_t n = 0;
+  for (uint8_t a : active_) n += a;
+  return n;
+}
+
+std::vector<size_t> TrainingSet::ActiveIndices() const {
+  std::vector<size_t> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    if (active_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+void TrainingSet::GatherBatch(const std::vector<size_t>& idx, size_t begin,
+                              size_t end,
+                              std::vector<sets::ElementId>* ids,
+                              std::vector<int64_t>* offsets,
+                              nn::Tensor* targets) const {
+  ids->clear();
+  offsets->clear();
+  offsets->push_back(0);
+  const size_t n = end - begin;
+  targets->ResizeAndZero(static_cast<int64_t>(n), 1);
+  for (size_t k = begin; k < end; ++k) {
+    sets::SetView s = subset(idx[k]);
+    ids->insert(ids->end(), s.begin(), s.end());
+    offsets->push_back(static_cast<int64_t>(ids->size()));
+    (*targets)(static_cast<int64_t>(k - begin), 0) = scaled_[idx[k]];
+  }
+}
+
+size_t TrainingSet::MemoryBytes() const {
+  return elements_.size() * sizeof(sets::ElementId) +
+         offsets_.size() * sizeof(uint64_t) + raw_.size() * sizeof(double) +
+         scaled_.size() * sizeof(float) + active_.size();
+}
+
+}  // namespace los::core

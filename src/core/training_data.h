@@ -1,0 +1,74 @@
+#ifndef LOS_CORE_TRAINING_DATA_H_
+#define LOS_CORE_TRAINING_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/scaling.h"
+#include "nn/tensor.h"
+#include "sets/set_collection.h"
+#include "sets/subset_gen.h"
+#include "sets/workload.h"
+
+namespace los::core {
+
+/// \brief Supervised training data: subsets (CSR) with raw + scaled targets.
+///
+/// Rows can be logically removed (outlier eviction during guided learning)
+/// without rewriting storage — `active` tracks the training membership.
+class TrainingSet {
+ public:
+  TrainingSet() = default;
+
+  /// Builds a regression training set from enumerated subsets; targets
+  /// picked by `label` and scaled with `scaler`.
+  static TrainingSet FromSubsets(const sets::LabeledSubsets& subsets,
+                                 sets::QueryLabel label,
+                                 const TargetScaler& scaler);
+
+  /// Builds a classification training set: positives (target 1) and
+  /// negatives (target 0) for the learned Bloom filter.
+  static TrainingSet FromMembership(const sets::LabeledSubsets& positives,
+                                    const std::vector<sets::Query>& negatives);
+
+  /// Appends one sample.
+  void Append(sets::SetView subset, double raw_target, float scaled_target);
+
+  size_t size() const { return scaled_.size(); }
+  bool empty() const { return size() == 0; }
+
+  sets::SetView subset(size_t i) const {
+    return sets::SetView(elements_.data() + offsets_[i],
+                         static_cast<size_t>(offsets_[i + 1] - offsets_[i]));
+  }
+  double raw_target(size_t i) const { return raw_[i]; }
+  float scaled_target(size_t i) const { return scaled_[i]; }
+
+  bool is_active(size_t i) const { return active_[i]; }
+  void Deactivate(size_t i) { active_[i] = 0; }
+  size_t CountActive() const;
+
+  /// Indices of currently active samples.
+  std::vector<size_t> ActiveIndices() const;
+
+  /// Gathers samples idx[begin..end) into a CSR batch plus a (n x 1) target
+  /// tensor of scaled labels.
+  void GatherBatch(const std::vector<size_t>& idx, size_t begin, size_t end,
+                   std::vector<sets::ElementId>* ids,
+                   std::vector<int64_t>* offsets,
+                   nn::Tensor* targets) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<sets::ElementId> elements_;
+  std::vector<uint64_t> offsets_{0};
+  std::vector<double> raw_;
+  std::vector<float> scaled_;
+  std::vector<uint8_t> active_;
+};
+
+}  // namespace los::core
+
+#endif  // LOS_CORE_TRAINING_DATA_H_

@@ -1,0 +1,35 @@
+#include "core/updatable_index.h"
+
+namespace los::core {
+
+Result<UpdatableIndex> UpdatableIndex::Build(
+    sets::SetCollection collection, const UpdatableIndexOptions& opts) {
+  UpdatableIndex wrapper(std::move(collection), opts);
+  auto index = LearnedSetIndex::Build(*wrapper.collection_, opts.index);
+  if (!index.ok()) return index.status();
+  wrapper.index_ = std::make_unique<LearnedSetIndex>(std::move(*index));
+  return wrapper;
+}
+
+Status UpdatableIndex::Update(size_t position,
+                              std::vector<sets::ElementId> new_elements) {
+  LOS_RETURN_NOT_OK(
+      collection_->UpdateSet(position, std::move(new_elements)));
+  index_->AbsorbUpdatedSet(position, opts_.index.max_subset_size);
+  ++updates_applied_;
+  return Status::OK();
+}
+
+bool UpdatableIndex::NeedsRebuild() const {
+  return opts_.rebuild_after_absorbed != 0 &&
+         index_->updates_absorbed() >= opts_.rebuild_after_absorbed;
+}
+
+Status UpdatableIndex::Rebuild() {
+  auto index = LearnedSetIndex::Build(*collection_, opts_.index);
+  if (!index.ok()) return index.status();
+  index_ = std::make_unique<LearnedSetIndex>(std::move(*index));
+  return Status::OK();
+}
+
+}  // namespace los::core

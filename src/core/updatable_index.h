@@ -1,0 +1,65 @@
+#ifndef LOS_CORE_UPDATABLE_INDEX_H_
+#define LOS_CORE_UPDATABLE_INDEX_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/learned_index.h"
+
+namespace los::core {
+
+/// Policy knobs for update handling (§7.2).
+struct UpdatableIndexOptions {
+  IndexOptions index;
+  /// "After a considerable number of updates, the whole structure can be
+  /// rebuilt" — rebuild is recommended once this many subsets have been
+  /// routed to the auxiliary structure. 0 disables the recommendation.
+  size_t rebuild_after_absorbed = 10000;
+};
+
+/// \brief Owning wrapper around LearnedSetIndex that handles in-place set
+/// updates (§7.2): mutations go through `Update`, which rewrites the
+/// collection, routes now-unfindable subsets into the auxiliary structure,
+/// and tracks when a full rebuild is worthwhile.
+class UpdatableIndex {
+ public:
+  /// Builds over a collection the wrapper takes ownership of.
+  static Result<UpdatableIndex> Build(sets::SetCollection collection,
+                                      const UpdatableIndexOptions& opts);
+
+  /// First position whose set contains sorted `q`, or -1.
+  int64_t Lookup(sets::SetView q,
+                 LearnedSetIndex::LookupStats* stats = nullptr) {
+    return index_->Lookup(q, stats);
+  }
+
+  /// Replaces set `position` with new contents and absorbs the change.
+  Status Update(size_t position, std::vector<sets::ElementId> new_elements);
+
+  /// True once enough updates accumulated that retraining is recommended.
+  bool NeedsRebuild() const;
+
+  /// Retrains from scratch over the current collection.
+  Status Rebuild();
+
+  const sets::SetCollection& collection() const { return *collection_; }
+  LearnedSetIndex* index() { return index_.get(); }
+  size_t updates_applied() const { return updates_applied_; }
+
+ private:
+  UpdatableIndex(sets::SetCollection collection, UpdatableIndexOptions opts)
+      : collection_(std::make_unique<sets::SetCollection>(
+            std::move(collection))),
+        opts_(std::move(opts)) {}
+
+  // Heap-allocated so its address is stable when the wrapper itself is
+  // moved — LearnedSetIndex keeps a pointer to the collection.
+  std::unique_ptr<sets::SetCollection> collection_;
+  UpdatableIndexOptions opts_;
+  std::unique_ptr<LearnedSetIndex> index_;
+  size_t updates_applied_ = 0;
+};
+
+}  // namespace los::core
+
+#endif  // LOS_CORE_UPDATABLE_INDEX_H_

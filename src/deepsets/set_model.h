@@ -1,0 +1,58 @@
+#ifndef LOS_DEEPSETS_SET_MODEL_H_
+#define LOS_DEEPSETS_SET_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+#include "sets/set_collection.h"
+
+namespace los::deepsets {
+
+/// \brief Interface of a learned set-to-scalar model.
+///
+/// Implementations: DeepSetsModel (LSM), CompressedDeepSetsModel (CLSM) and
+/// SetTransformerModel. Batches use CSR layout: `ids` flattens all sets'
+/// elements, `offsets` (num_sets + 1 entries) delimits each set. The output
+/// is one scalar per set (position / cardinality / membership probability,
+/// all in [0,1] via the sigmoid head — Table 1).
+///
+/// Models are stateful across Forward/Backward: Backward refers to the most
+/// recent Forward's cached activations. Training is single-threaded.
+class SetModel {
+ public:
+  virtual ~SetModel() = default;
+
+  /// Batch forward pass; returns a reference to the (num_sets x 1) output
+  /// owned by the model (valid until the next Forward).
+  virtual const nn::Tensor& Forward(const std::vector<sets::ElementId>& ids,
+                                    const std::vector<int64_t>& offsets) = 0;
+
+  /// Backpropagates `dout` (num_sets x 1) through the last Forward,
+  /// accumulating parameter gradients.
+  virtual void Backward(const nn::Tensor& dout) = 0;
+
+  /// Appends all trainable parameters (for the optimizer).
+  virtual void CollectParameters(std::vector<nn::Parameter*>* out) = 0;
+
+  /// Parameter bytes — the "model size" of the memory tables.
+  virtual size_t ByteSize() const = 0;
+
+  /// Short human-readable name ("LSM", "CLSM", ...).
+  virtual std::string name() const = 0;
+
+  /// Largest element id + 1 the model accepts (its embedding coverage).
+  virtual int64_t vocab() const = 0;
+
+  virtual void Save(BinaryWriter* w) const = 0;
+
+  /// Predicts the scalar for a single set (convenience around Forward).
+  double PredictOne(sets::SetView s);
+};
+
+}  // namespace los::deepsets
+
+#endif  // LOS_DEEPSETS_SET_MODEL_H_

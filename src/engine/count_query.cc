@@ -1,0 +1,62 @@
+#include "engine/count_query.h"
+
+#include "common/stopwatch.h"
+
+namespace los::engine {
+
+const char* AccessPathName(AccessPath p) {
+  switch (p) {
+    case AccessPath::kSeqScan:
+      return "seq-scan";
+    case AccessPath::kInvertedIndex:
+      return "inverted-index";
+    case AccessPath::kLearnedEstimate:
+      return "learned-estimate";
+  }
+  return "?";
+}
+
+void CountQueryExecutor::BuildIndex() {
+  Stopwatch sw;
+  index_ = std::make_unique<baselines::InvertedIndex>(table_->set_column());
+  index_build_seconds_ = sw.ElapsedSeconds();
+}
+
+Status CountQueryExecutor::BuildEstimator(
+    const core::CardinalityOptions& opts) {
+  Stopwatch sw;
+  auto est = core::LearnedCardinalityEstimator::Build(table_->set_column(),
+                                                      opts);
+  if (!est.ok()) return est.status();
+  estimator_.emplace(std::move(*est));
+  estimator_build_seconds_ = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<double> CountQueryExecutor::Count(sets::SetView q, AccessPath path) {
+  switch (path) {
+    case AccessPath::kSeqScan: {
+      const sets::SetCollection& rows = table_->set_column();
+      uint64_t count = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows.SetContainsSorted(i, q)) ++count;
+      }
+      return static_cast<double>(count);
+    }
+    case AccessPath::kInvertedIndex: {
+      if (index_ == nullptr) {
+        return Status::InvalidArgument("index not built");
+      }
+      return static_cast<double>(index_->Cardinality(q));
+    }
+    case AccessPath::kLearnedEstimate: {
+      if (!estimator_.has_value()) {
+        return Status::InvalidArgument("estimator not built");
+      }
+      return estimator_->Estimate(q);
+    }
+  }
+  return Status::Internal("unknown access path");
+}
+
+}  // namespace los::engine

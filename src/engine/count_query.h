@@ -1,0 +1,61 @@
+#ifndef LOS_ENGINE_COUNT_QUERY_H_
+#define LOS_ENGINE_COUNT_QUERY_H_
+
+#include <memory>
+#include <optional>
+
+#include "baselines/inverted_index.h"
+#include "core/learned_cardinality.h"
+#include "engine/table.h"
+
+namespace los::engine {
+
+/// Access path for a COUNT(*) WHERE set_col ⊇ q query — the three columns
+/// of Table 12.
+enum class AccessPath {
+  kSeqScan,         ///< PostgreSQL without an index
+  kInvertedIndex,   ///< PostgreSQL's hstore (GIN-style) index
+  kLearnedEstimate  ///< the CLSM user-defined estimator
+};
+
+const char* AccessPathName(AccessPath p);
+
+/// \brief Executes subset-containment COUNT queries against a Table through
+/// any of the three access paths, tracking build time and memory per path.
+class CountQueryExecutor {
+ public:
+  /// The table must outlive the executor.
+  explicit CountQueryExecutor(const Table& table) : table_(&table) {}
+
+  /// Builds the inverted index access path; records build seconds.
+  void BuildIndex();
+
+  /// Trains the learned estimator access path; records build seconds.
+  Status BuildEstimator(const core::CardinalityOptions& opts);
+
+  /// Runs COUNT(*) WHERE set_col ⊇ q. Exact for seq-scan/index; an estimate
+  /// for the learned path. Errors if the chosen path was not built.
+  Result<double> Count(sets::SetView q, AccessPath path);
+
+  bool has_index() const { return index_ != nullptr; }
+  bool has_estimator() const { return estimator_.has_value(); }
+
+  double index_build_seconds() const { return index_build_seconds_; }
+  double estimator_build_seconds() const { return estimator_build_seconds_; }
+
+  size_t IndexBytes() const { return index_ ? index_->MemoryBytes() : 0; }
+  size_t EstimatorBytes() const {
+    return estimator_ ? estimator_->TotalBytes() : 0;
+  }
+
+ private:
+  const Table* table_;
+  std::unique_ptr<baselines::InvertedIndex> index_;
+  std::optional<core::LearnedCardinalityEstimator> estimator_;
+  double index_build_seconds_ = 0.0;
+  double estimator_build_seconds_ = 0.0;
+};
+
+}  // namespace los::engine
+
+#endif  // LOS_ENGINE_COUNT_QUERY_H_

@@ -1,0 +1,50 @@
+#ifndef LOS_ENGINE_TABLE_H_
+#define LOS_ENGINE_TABLE_H_
+
+#include <string>
+#include <utility>
+
+#include "sets/set_collection.h"
+
+namespace los::engine {
+
+/// \brief Minimal in-memory table with a set-valued column.
+///
+/// Substrate for the paper's §8.5.3 system-integration experiment, which
+/// imports the RW dataset into PostgreSQL as an hstore attribute and runs
+/// exact COUNT queries against it. Rows are (row_id, set) pairs; row_id is
+/// the insertion position.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  /// Builds a table directly over an existing collection (copied).
+  static Table FromCollection(std::string name,
+                              const sets::SetCollection& collection) {
+    Table t(std::move(name));
+    t.rows_ = collection;
+    return t;
+  }
+
+  /// Appends a row; returns its row id.
+  size_t Insert(std::vector<sets::ElementId> set_value) {
+    return rows_.Add(std::move(set_value));
+  }
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// The set column (CSR-backed).
+  const sets::SetCollection& set_column() const { return rows_; }
+
+  /// Heap bytes of the stored rows.
+  size_t MemoryBytes() const { return rows_.MemoryBytes(); }
+
+ private:
+  std::string name_;
+  sets::SetCollection rows_;
+};
+
+}  // namespace los::engine
+
+#endif  // LOS_ENGINE_TABLE_H_

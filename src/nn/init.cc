@@ -1,0 +1,31 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace los::nn {
+
+void GlorotUniform(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, limit, rng);
+}
+
+void UniformInit(Tensor* t, float scale, Rng* rng) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->size(); ++i) {
+    d[i] = scale * (2.0f * static_cast<float>(rng->NextDouble()) - 1.0f);
+  }
+}
+
+void GaussianInit(Tensor* t, float stddev, Rng* rng) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->size(); ++i) {
+    d[i] = stddev * static_cast<float>(rng->NextGaussian());
+  }
+}
+
+void ScaledGaussianInit(Tensor* t, Rng* rng) {
+  float stddev = 1.0f / std::sqrt(static_cast<float>(t->cols()));
+  GaussianInit(t, stddev, rng);
+}
+
+}  // namespace los::nn

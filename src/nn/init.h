@@ -1,0 +1,25 @@
+#ifndef LOS_NN_INIT_H_
+#define LOS_NN_INIT_H_
+
+#include "common/random.h"
+#include "nn/tensor.h"
+
+namespace los::nn {
+
+/// Glorot/Xavier uniform init: U(-sqrt(6/(fan_in+fan_out)), +...).
+/// The default for dense layers, matching Keras' `glorot_uniform`.
+void GlorotUniform(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Uniform init in [-scale, scale]; Keras' default embedding init uses
+/// scale = 0.05.
+void UniformInit(Tensor* t, float scale, Rng* rng);
+
+/// Gaussian init with the given standard deviation.
+void GaussianInit(Tensor* t, float stddev, Rng* rng);
+
+/// Orthogonal-ish init for recurrent kernels: Gaussian scaled by 1/sqrt(dim).
+void ScaledGaussianInit(Tensor* t, Rng* rng);
+
+}  // namespace los::nn
+
+#endif  // LOS_NN_INIT_H_

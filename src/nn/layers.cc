@@ -1,0 +1,251 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace los::nn {
+
+const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+void ApplyActivation(Activation act, Tensor* x) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      ReluInPlace(x);
+      return;
+    case Activation::kSigmoid:
+      SigmoidInPlace(x);
+      return;
+    case Activation::kTanh:
+      TanhInPlace(x);
+      return;
+  }
+}
+
+void ActivationBackward(Activation act, const Tensor& y, Tensor* dy) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      ReluBackwardInPlace(y, dy);
+      return;
+    case Activation::kSigmoid:
+      SigmoidBackwardInPlace(y, dy);
+      return;
+    case Activation::kTanh:
+      TanhBackwardInPlace(y, dy);
+      return;
+  }
+}
+
+Dense::Dense(int64_t in, int64_t out, Activation act, Rng* rng)
+    : weight_(in, out), bias_(1, out), act_(act) {
+  GlorotUniform(&weight_.value, in, out, rng);
+  // Bias starts at zero (Keras default).
+}
+
+void Dense::Forward(const Tensor& x, Tensor* y) const {
+  assert(x.cols() == in_dim());
+  if (y->rows() != x.rows() || y->cols() != out_dim()) {
+    y->ResizeAndZero(x.rows(), out_dim());
+  }
+  Gemm(x, false, weight_.value, false, 1.0f, 0.0f, y);
+  AddRowBroadcast(bias_.value, y);
+  ApplyActivation(act_, y);
+}
+
+void Dense::Backward(const Tensor& x, const Tensor& y, Tensor* dy,
+                     Tensor* dx) {
+  // Through the activation first; dy becomes the grad of the pre-activation.
+  ActivationBackward(act_, y, dy);
+  // dW += X^T dY ; db += column sums of dY ; dX = dY W^T.
+  Gemm(x, true, *dy, false, 1.0f, 1.0f, &weight_.grad);
+  SumRowsAccumulate(*dy, &bias_.grad);
+  if (dx != nullptr) {
+    if (!dx->SameShape(x)) dx->ResizeAndZero(x.rows(), x.cols());
+    Gemm(*dy, false, weight_.value, true, 1.0f, 0.0f, dx);
+  }
+}
+
+void Dense::Save(BinaryWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(act_));
+  weight_.value.Save(w);
+  bias_.value.Save(w);
+}
+
+Status Dense::Load(BinaryReader* r) {
+  auto act = r->ReadU32();
+  if (!act.ok()) return act.status();
+  act_ = static_cast<Activation>(*act);
+  auto wt = Tensor::Load(r);
+  if (!wt.ok()) return wt.status();
+  auto bt = Tensor::Load(r);
+  if (!bt.ok()) return bt.status();
+  weight_.value = std::move(*wt);
+  weight_.grad = Tensor::Zeros(weight_.value.rows(), weight_.value.cols());
+  bias_.value = std::move(*bt);
+  bias_.grad = Tensor::Zeros(bias_.value.rows(), bias_.value.cols());
+  return Status::OK();
+}
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng* rng)
+    : table_(vocab, dim) {
+  UniformInit(&table_.value, 0.05f, rng);  // Keras RandomUniform default.
+}
+
+void Embedding::Forward(const std::vector<uint32_t>& ids, Tensor* out) const {
+  if (out->rows() != static_cast<int64_t>(ids.size()) || out->cols() != dim()) {
+    out->ResizeAndZero(static_cast<int64_t>(ids.size()), dim());
+  }
+  ForwardInto(ids, out, 0);
+}
+
+void Embedding::ForwardInto(const std::vector<uint32_t>& ids, Tensor* out,
+                            int64_t col_offset) const {
+  const int64_t d = dim();
+  assert(out->rows() == static_cast<int64_t>(ids.size()));
+  assert(col_offset + d <= out->cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    assert(ids[i] < table_.value.rows());
+    const float* src = table_.value.row(ids[i]);
+    float* dst = out->row(static_cast<int64_t>(i)) + col_offset;
+    std::memcpy(dst, src, static_cast<size_t>(d) * sizeof(float));
+  }
+}
+
+void Embedding::Backward(const std::vector<uint32_t>& ids,
+                         const Tensor& dout) {
+  BackwardFrom(ids, dout, 0);
+}
+
+void Embedding::BackwardFrom(const std::vector<uint32_t>& ids,
+                             const Tensor& dout, int64_t col_offset) {
+  const int64_t d = dim();
+  assert(dout.rows() == static_cast<int64_t>(ids.size()));
+  assert(col_offset + d <= dout.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* src = dout.row(static_cast<int64_t>(i)) + col_offset;
+    float* dst = table_.grad.row(ids[i]);
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+void Embedding::Save(BinaryWriter* w) const { table_.value.Save(w); }
+
+Status Embedding::Load(BinaryReader* r) {
+  auto t = Tensor::Load(r);
+  if (!t.ok()) return t.status();
+  table_.value = std::move(*t);
+  table_.grad = Tensor::Zeros(table_.value.rows(), table_.value.cols());
+  return Status::OK();
+}
+
+const char* PoolingName(Pooling p) {
+  switch (p) {
+    case Pooling::kSum:
+      return "sum";
+    case Pooling::kMean:
+      return "mean";
+    case Pooling::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+void SegmentPool::Forward(const Tensor& x, const std::vector<int64_t>& offsets,
+                          Tensor* pooled, std::vector<int64_t>* argmax) const {
+  const int64_t num_sets = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t d = x.cols();
+  if (pooled->rows() != num_sets || pooled->cols() != d) {
+    pooled->ResizeAndZero(num_sets, d);
+  } else {
+    pooled->SetZero();
+  }
+  if (pooling_ == Pooling::kMax && argmax != nullptr) {
+    argmax->assign(static_cast<size_t>(num_sets * d), -1);
+  }
+  for (int64_t s = 0; s < num_sets; ++s) {
+    const int64_t begin = offsets[static_cast<size_t>(s)];
+    const int64_t end = offsets[static_cast<size_t>(s) + 1];
+    float* prow = pooled->row(s);
+    if (pooling_ == Pooling::kMax) {
+      for (int64_t j = 0; j < d; ++j) {
+        prow[j] = begin < end ? -std::numeric_limits<float>::infinity() : 0.0f;
+      }
+      for (int64_t e = begin; e < end; ++e) {
+        const float* xr = x.row(e);
+        for (int64_t j = 0; j < d; ++j) {
+          if (xr[j] > prow[j]) {
+            prow[j] = xr[j];
+            if (argmax != nullptr) (*argmax)[static_cast<size_t>(s * d + j)] = e;
+          }
+        }
+      }
+    } else {
+      for (int64_t e = begin; e < end; ++e) {
+        const float* xr = x.row(e);
+        for (int64_t j = 0; j < d; ++j) prow[j] += xr[j];
+      }
+      if (pooling_ == Pooling::kMean && end > begin) {
+        const float inv = 1.0f / static_cast<float>(end - begin);
+        for (int64_t j = 0; j < d; ++j) prow[j] *= inv;
+      }
+    }
+  }
+}
+
+void SegmentPool::Backward(const Tensor& dpooled,
+                           const std::vector<int64_t>& offsets,
+                           const std::vector<int64_t>& argmax,
+                           int64_t total_elements, Tensor* dx) const {
+  const int64_t num_sets = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t d = dpooled.cols();
+  dx->ResizeAndZero(total_elements, d);
+  for (int64_t s = 0; s < num_sets; ++s) {
+    const int64_t begin = offsets[static_cast<size_t>(s)];
+    const int64_t end = offsets[static_cast<size_t>(s) + 1];
+    const float* prow = dpooled.row(s);
+    switch (pooling_) {
+      case Pooling::kSum:
+        for (int64_t e = begin; e < end; ++e) {
+          float* xr = dx->row(e);
+          for (int64_t j = 0; j < d; ++j) xr[j] += prow[j];
+        }
+        break;
+      case Pooling::kMean: {
+        if (end == begin) break;
+        const float inv = 1.0f / static_cast<float>(end - begin);
+        for (int64_t e = begin; e < end; ++e) {
+          float* xr = dx->row(e);
+          for (int64_t j = 0; j < d; ++j) xr[j] += prow[j] * inv;
+        }
+        break;
+      }
+      case Pooling::kMax:
+        for (int64_t j = 0; j < d; ++j) {
+          int64_t winner = argmax[static_cast<size_t>(s * d + j)];
+          if (winner >= 0) (*dx)(winner, j) += prow[j];
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace los::nn

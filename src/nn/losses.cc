@@ -1,0 +1,113 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace los::nn {
+
+namespace {
+constexpr float kEps = 1e-7f;
+}
+
+double MseLoss(const Tensor& pred, const Tensor& target, Tensor* dpred) {
+  assert(pred.SameShape(target));
+  const int64_t n = pred.size();
+  if (dpred != nullptr && !dpred->SameShape(pred)) {
+    dpred->ResizeAndZero(pred.rows(), pred.cols());
+  }
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float diff = pred.data()[i] - target.data()[i];
+    loss += static_cast<double>(diff) * diff;
+    if (dpred != nullptr) dpred->data()[i] = 2.0f * diff * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double MaeLoss(const Tensor& pred, const Tensor& target, Tensor* dpred) {
+  assert(pred.SameShape(target));
+  const int64_t n = pred.size();
+  if (dpred != nullptr && !dpred->SameShape(pred)) {
+    dpred->ResizeAndZero(pred.rows(), pred.cols());
+  }
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float diff = pred.data()[i] - target.data()[i];
+    loss += std::abs(static_cast<double>(diff));
+    if (dpred != nullptr) {
+      dpred->data()[i] = (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+double BinaryCrossEntropyLoss(const Tensor& pred, const Tensor& target,
+                              Tensor* dpred) {
+  assert(pred.SameShape(target));
+  const int64_t n = pred.size();
+  if (dpred != nullptr && !dpred->SameShape(pred)) {
+    dpred->ResizeAndZero(pred.rows(), pred.cols());
+  }
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float p = std::clamp(pred.data()[i], kEps, 1.0f - kEps);
+    float y = target.data()[i];
+    loss -= static_cast<double>(y) * std::log(p) +
+            (1.0 - static_cast<double>(y)) * std::log(1.0f - p);
+    if (dpred != nullptr) {
+      dpred->data()[i] = ((p - y) / (p * (1.0f - p))) * inv_n;
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+double QErrorLoss(const Tensor& pred, const Tensor& target, double span,
+                  Tensor* dpred) {
+  assert(pred.SameShape(target));
+  const int64_t n = pred.size();
+  if (dpred != nullptr && !dpred->SameShape(pred)) {
+    dpred->ResizeAndZero(pred.rows(), pred.cols());
+  }
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float s = static_cast<float>(span);
+  // Cap the exponent so one catastrophic sample does not produce inf grads;
+  // 20 log-units is a q-error of ~4.8e8, far past anything informative.
+  const float kExpCap = 20.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    float diff = pred.data()[i] - target.data()[i];
+    float a = std::min(s * std::abs(diff), kExpCap);
+    float q = std::exp(a);
+    loss += static_cast<double>(q);
+    if (dpred != nullptr) {
+      float sign = diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
+      dpred->data()[i] = q * s * sign * inv_n;
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+double BinaryAccuracy(const Tensor& pred, const Tensor& target) {
+  assert(pred.SameShape(target));
+  const int64_t n = pred.size();
+  if (n == 0) return 1.0;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    bool p = pred.data()[i] >= 0.5f;
+    bool y = target.data()[i] >= 0.5f;
+    if (p == y) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double QError(double estimate, double truth, double floor) {
+  double e = std::max(estimate, floor);
+  double t = std::max(truth, floor);
+  return std::max(e / t, t / e);
+}
+
+}  // namespace los::nn

@@ -1,0 +1,48 @@
+#ifndef LOS_NN_LOSSES_H_
+#define LOS_NN_LOSSES_H_
+
+#include "nn/tensor.h"
+
+namespace los::nn {
+
+/// Loss functions for the regression/classification tasks (Table 1 of the
+/// paper). Each Compute* returns the mean loss over the batch and writes the
+/// gradient w.r.t. the prediction into `dpred` (already divided by the batch
+/// size, so parameter grads are per-sample averages).
+
+/// Mean squared error: mean((pred - target)^2).
+double MseLoss(const Tensor& pred, const Tensor& target, Tensor* dpred);
+
+/// Mean absolute error: mean(|pred - target|).
+double MaeLoss(const Tensor& pred, const Tensor& target, Tensor* dpred);
+
+/// Binary cross-entropy over sigmoid outputs in (0,1); targets in {0,1}.
+/// Used by the learned Bloom filter (classification model).
+double BinaryCrossEntropyLoss(const Tensor& pred, const Tensor& target,
+                              Tensor* dpred);
+
+/// \brief Differentiable q-error loss on *scaled* predictions.
+///
+/// The paper trains regression models on log-transformed, min-max-scaled
+/// targets with a sigmoid output and q-error loss
+/// q(y, ŷ) = max(ŷ/y, y/ŷ) computed in the original space. With the scaling
+/// y_scaled = (log1p(y) - lo) / (hi - lo), the original-space ratio is
+/// exp-linear in the scaled difference, so we use the numerically robust
+/// surrogate q = exp(span * |pred_scaled - target_scaled|) whose minimum
+/// (q = 1) coincides with the exact q-error's and whose gradient directions
+/// match. `span` = hi - lo of the log-space scaler.
+double QErrorLoss(const Tensor& pred, const Tensor& target, double span,
+                  Tensor* dpred);
+
+/// Fraction of predictions on the correct side of 0.5 (Bloom-filter
+/// "binary accuracy" metric from Table 9). No gradient.
+double BinaryAccuracy(const Tensor& pred, const Tensor& target);
+
+/// Exact q-error between two positive values: max(est/truth, truth/est).
+/// Both are clamped below by `floor` to avoid division blow-ups (the paper's
+/// tasks have integer targets >= 1).
+double QError(double estimate, double truth, double floor = 1.0);
+
+}  // namespace los::nn
+
+#endif  // LOS_NN_LOSSES_H_

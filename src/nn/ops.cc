@@ -1,0 +1,123 @@
+#include "nn/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace los::nn {
+
+void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          float alpha, float beta, Tensor* c) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t k = trans_a ? a.rows() : a.cols();
+  const int64_t kb = trans_b ? b.cols() : b.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  assert(k == kb);
+  (void)kb;
+  assert(c->rows() == m && c->cols() == n);
+
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    c->Scale(beta);
+  }
+
+  float* cd = c->data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const int64_t a_cols = a.cols();
+  const int64_t b_cols = b.cols();
+
+  // i-k-j ordering keeps the innermost loop streaming over contiguous rows
+  // of both B (or B^T handled below) and C.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = cd + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av =
+          alpha * (trans_a ? ad[kk * a_cols + i] : ad[i * a_cols + kk]);
+      if (av == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = bd + kk * b_cols;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        // B^T: column kk of B^T is row j, entry (j, kk) of B.
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * bd[j * b_cols + kk];
+      }
+    }
+  }
+}
+
+void AddRowBroadcast(const Tensor& bias, Tensor* x) {
+  assert(bias.rows() == 1 && bias.cols() == x->cols());
+  const float* b = bias.data();
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    float* row = x->row(i);
+    for (int64_t j = 0; j < x->cols(); ++j) row[j] += b[j];
+  }
+}
+
+void SumRowsAccumulate(const Tensor& x, Tensor* out) {
+  assert(out->rows() == 1 && out->cols() == x.cols());
+  float* o = out->data();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.row(i);
+    for (int64_t j = 0; j < x.cols(); ++j) o[j] += row[j];
+  }
+}
+
+void SigmoidInPlace(Tensor* x) {
+  float* d = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) {
+    d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+  }
+}
+
+void TanhInPlace(Tensor* x) {
+  float* d = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) d[i] = std::tanh(d[i]);
+}
+
+void ReluInPlace(Tensor* x) {
+  float* d = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+void SigmoidBackwardInPlace(const Tensor& y, Tensor* dy) {
+  assert(y.SameShape(*dy));
+  const float* yd = y.data();
+  float* d = dy->data();
+  for (int64_t i = 0; i < y.size(); ++i) d[i] *= yd[i] * (1.0f - yd[i]);
+}
+
+void TanhBackwardInPlace(const Tensor& y, Tensor* dy) {
+  assert(y.SameShape(*dy));
+  const float* yd = y.data();
+  float* d = dy->data();
+  for (int64_t i = 0; i < y.size(); ++i) d[i] *= 1.0f - yd[i] * yd[i];
+}
+
+void ReluBackwardInPlace(const Tensor& y, Tensor* dy) {
+  assert(y.SameShape(*dy));
+  const float* yd = y.data();
+  float* d = dy->data();
+  for (int64_t i = 0; i < y.size(); ++i) {
+    if (yd[i] <= 0.0f) d[i] = 0.0f;
+  }
+}
+
+void Hadamard(const Tensor& a, const Tensor& b, Tensor* out) {
+  assert(a.SameShape(b) && a.SameShape(*out));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data();
+  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] * bd[i];
+}
+
+void HadamardAccumulate(const Tensor& a, const Tensor& b, Tensor* out) {
+  assert(a.SameShape(b) && a.SameShape(*out));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data();
+  for (int64_t i = 0; i < a.size(); ++i) od[i] += ad[i] * bd[i];
+}
+
+}  // namespace los::nn

@@ -1,0 +1,48 @@
+#ifndef LOS_NN_OPS_H_
+#define LOS_NN_OPS_H_
+
+#include "nn/tensor.h"
+
+namespace los::nn {
+
+/// \brief C = alpha * op(A) * op(B) + beta * C.
+///
+/// `trans_a` / `trans_b` select whether A / B are used transposed. The
+/// implementation is a cache-friendly i-k-j loop; model dimensions in this
+/// library are small (embedding 2-32, hidden 8-256), where this is within a
+/// small factor of a tuned BLAS.
+void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          float alpha, float beta, Tensor* c);
+
+/// Adds row-vector `bias` (1 x d) to every row of `x` (n x d).
+void AddRowBroadcast(const Tensor& bias, Tensor* x);
+
+/// Accumulates the column sums of `x` (n x d) into `out` (1 x d):
+/// out += sum_rows(x). Used for bias gradients.
+void SumRowsAccumulate(const Tensor& x, Tensor* out);
+
+/// Elementwise sigmoid, writing into `x` in place.
+void SigmoidInPlace(Tensor* x);
+
+/// Elementwise tanh in place.
+void TanhInPlace(Tensor* x);
+
+/// Elementwise ReLU in place.
+void ReluInPlace(Tensor* x);
+
+/// Given activation *outputs* y and upstream grad dy, computes
+/// dy *= sigma'(x) expressed through y (sigmoid: y(1-y); tanh: 1-y^2;
+/// relu: 1[y>0]).
+void SigmoidBackwardInPlace(const Tensor& y, Tensor* dy);
+void TanhBackwardInPlace(const Tensor& y, Tensor* dy);
+void ReluBackwardInPlace(const Tensor& y, Tensor* dy);
+
+/// Elementwise product: out = a ⊙ b (shapes must match).
+void Hadamard(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a ⊙ b.
+void HadamardAccumulate(const Tensor& a, const Tensor& b, Tensor* out);
+
+}  // namespace los::nn
+
+#endif  // LOS_NN_OPS_H_

@@ -1,0 +1,75 @@
+#ifndef LOS_NN_OPTIMIZER_H_
+#define LOS_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace los::nn {
+
+/// \brief Interface for gradient-descent parameter updates.
+///
+/// Usage per step: zero grads, run backward passes (which accumulate), then
+/// `Step(params)` which consumes `grad` and updates `value`.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update to every parameter and zeroes its gradient.
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+
+  /// Learning rate accessor (all our optimizers have one).
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f)
+      : lr_(lr), momentum_(momentum) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) — the optimizer the paper's Keras models use.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-7f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::unordered_map<Parameter*, Moments> moments_;
+};
+
+}  // namespace los::nn
+
+#endif  // LOS_NN_OPTIMIZER_H_

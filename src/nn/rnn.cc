@@ -1,0 +1,314 @@
+#include "nn/rnn.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace los::nn {
+
+namespace {
+
+// Splits a packed (B x 4H) gate tensor view: returns pointer to row i's
+// section g (0..3).
+inline float* GateRow(Tensor* t, int64_t i, int64_t g, int64_t h) {
+  return t->row(i) + g * h;
+}
+inline const float* GateRow(const Tensor& t, int64_t i, int64_t g, int64_t h) {
+  return t.row(i) + g * h;
+}
+
+}  // namespace
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : wx_(input_dim, 4 * hidden_dim),
+      wh_(hidden_dim, 4 * hidden_dim),
+      bias_(1, 4 * hidden_dim) {
+  GlorotUniform(&wx_.value, input_dim, 4 * hidden_dim, rng);
+  ScaledGaussianInit(&wh_.value, rng);
+  // Forget-gate bias starts at 1 — standard LSTM practice (and Keras'
+  // unit_forget_bias), which stabilizes early training.
+  for (int64_t j = 0; j < hidden_dim; ++j) {
+    bias_.value(0, hidden_dim + j) = 1.0f;
+  }
+}
+
+void LstmCell::Forward(const Tensor& x, StepCache* cache) const {
+  const int64_t b = x.rows();
+  const int64_t h = hidden_dim();
+  assert(cache->h_prev.rows() == b && cache->h_prev.cols() == h);
+  Tensor& gates = cache->gates;
+  if (gates.rows() != b || gates.cols() != 4 * h) {
+    gates.ResizeAndZero(b, 4 * h);
+  }
+  Gemm(x, false, wx_.value, false, 1.0f, 0.0f, &gates);
+  Gemm(cache->h_prev, false, wh_.value, false, 1.0f, 1.0f, &gates);
+  AddRowBroadcast(bias_.value, &gates);
+
+  cache->c.ResizeAndZero(b, h);
+  cache->h.ResizeAndZero(b, h);
+  for (int64_t i = 0; i < b; ++i) {
+    float* gi = GateRow(&gates, i, 0, h);
+    float* gf = GateRow(&gates, i, 1, h);
+    float* gg = GateRow(&gates, i, 2, h);
+    float* go = GateRow(&gates, i, 3, h);
+    const float* cp = cache->c_prev.row(i);
+    float* c = cache->c.row(i);
+    float* hh = cache->h.row(i);
+    for (int64_t j = 0; j < h; ++j) {
+      gi[j] = 1.0f / (1.0f + std::exp(-gi[j]));
+      gf[j] = 1.0f / (1.0f + std::exp(-gf[j]));
+      gg[j] = std::tanh(gg[j]);
+      go[j] = 1.0f / (1.0f + std::exp(-go[j]));
+      c[j] = gf[j] * cp[j] + gi[j] * gg[j];
+      hh[j] = go[j] * std::tanh(c[j]);
+    }
+  }
+}
+
+void LstmCell::Backward(const Tensor& x, const StepCache& cache, Tensor* dh,
+                        Tensor* dc, Tensor* dx, Tensor* dh_prev,
+                        Tensor* dc_prev) {
+  const int64_t b = x.rows();
+  const int64_t h = hidden_dim();
+  Tensor dgates(b, 4 * h);
+  dc_prev->ResizeAndZero(b, h);
+  for (int64_t i = 0; i < b; ++i) {
+    const float* gi = GateRow(cache.gates, i, 0, h);
+    const float* gf = GateRow(cache.gates, i, 1, h);
+    const float* gg = GateRow(cache.gates, i, 2, h);
+    const float* go = GateRow(cache.gates, i, 3, h);
+    const float* c = cache.c.row(i);
+    const float* cp = cache.c_prev.row(i);
+    const float* dhr = dh->row(i);
+    float* dcr = dc->row(i);
+    float* dgi = GateRow(&dgates, i, 0, h);
+    float* dgf = GateRow(&dgates, i, 1, h);
+    float* dgg = GateRow(&dgates, i, 2, h);
+    float* dgo = GateRow(&dgates, i, 3, h);
+    float* dcp = dc_prev->row(i);
+    for (int64_t j = 0; j < h; ++j) {
+      const float tc = std::tanh(c[j]);
+      const float do_ = dhr[j] * tc;
+      const float dct = dcr[j] + dhr[j] * go[j] * (1.0f - tc * tc);
+      dgo[j] = do_ * go[j] * (1.0f - go[j]);
+      dgf[j] = dct * cp[j] * gf[j] * (1.0f - gf[j]);
+      dgi[j] = dct * gg[j] * gi[j] * (1.0f - gi[j]);
+      dgg[j] = dct * gi[j] * (1.0f - gg[j] * gg[j]);
+      dcp[j] = dct * gf[j];
+    }
+  }
+  // Parameter grads and input/state grads.
+  Gemm(x, true, dgates, false, 1.0f, 1.0f, &wx_.grad);
+  Gemm(cache.h_prev, true, dgates, false, 1.0f, 1.0f, &wh_.grad);
+  SumRowsAccumulate(dgates, &bias_.grad);
+  if (dx != nullptr) {
+    dx->ResizeAndZero(b, input_dim());
+    Gemm(dgates, false, wx_.value, true, 1.0f, 0.0f, dx);
+  }
+  dh_prev->ResizeAndZero(b, h);
+  Gemm(dgates, false, wh_.value, true, 1.0f, 0.0f, dh_prev);
+}
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : wxz_(input_dim, hidden_dim), whz_(hidden_dim, hidden_dim),
+      bz_(1, hidden_dim),
+      wxr_(input_dim, hidden_dim), whr_(hidden_dim, hidden_dim),
+      br_(1, hidden_dim),
+      wxh_(input_dim, hidden_dim), whh_(hidden_dim, hidden_dim),
+      bh_(1, hidden_dim) {
+  for (Parameter* p : {&wxz_, &wxr_, &wxh_}) {
+    GlorotUniform(&p->value, input_dim, hidden_dim, rng);
+  }
+  for (Parameter* p : {&whz_, &whr_, &whh_}) {
+    ScaledGaussianInit(&p->value, rng);
+  }
+}
+
+void GruCell::Forward(const Tensor& x, StepCache* cache) const {
+  const int64_t b = x.rows();
+  const int64_t h = hidden_dim();
+  assert(cache->h_prev.rows() == b && cache->h_prev.cols() == h);
+  auto affine = [&](const Parameter& wx, const Parameter& wh,
+                    const Parameter& bias, const Tensor& hin, Tensor* out) {
+    out->ResizeAndZero(b, h);
+    Gemm(x, false, wx.value, false, 1.0f, 0.0f, out);
+    Gemm(hin, false, wh.value, false, 1.0f, 1.0f, out);
+    AddRowBroadcast(bias.value, out);
+  };
+  affine(wxz_, whz_, bz_, cache->h_prev, &cache->z);
+  SigmoidInPlace(&cache->z);
+  affine(wxr_, whr_, br_, cache->h_prev, &cache->r);
+  SigmoidInPlace(&cache->r);
+  cache->rh.ResizeAndZero(b, h);
+  Hadamard(cache->r, cache->h_prev, &cache->rh);
+  affine(wxh_, whh_, bh_, cache->rh, &cache->hcand);
+  TanhInPlace(&cache->hcand);
+  cache->h.ResizeAndZero(b, h);
+  for (int64_t i = 0; i < b; ++i) {
+    const float* z = cache->z.row(i);
+    const float* hp = cache->h_prev.row(i);
+    const float* hc = cache->hcand.row(i);
+    float* hh = cache->h.row(i);
+    for (int64_t j = 0; j < h; ++j) {
+      hh[j] = (1.0f - z[j]) * hp[j] + z[j] * hc[j];
+    }
+  }
+}
+
+void GruCell::Backward(const Tensor& x, const StepCache& cache, Tensor* dh,
+                       Tensor* dx, Tensor* dh_prev) {
+  const int64_t b = x.rows();
+  const int64_t h = hidden_dim();
+  Tensor dz(b, h), dhc(b, h);
+  dh_prev->ResizeAndZero(b, h);
+  for (int64_t i = 0; i < b; ++i) {
+    const float* z = cache.z.row(i);
+    const float* hp = cache.h_prev.row(i);
+    const float* hc = cache.hcand.row(i);
+    const float* dhr = dh->row(i);
+    float* dzr = dz.row(i);
+    float* dhcr = dhc.row(i);
+    float* dhpr = dh_prev->row(i);
+    for (int64_t j = 0; j < h; ++j) {
+      dzr[j] = dhr[j] * (hc[j] - hp[j]) * z[j] * (1.0f - z[j]);
+      dhcr[j] = dhr[j] * z[j] * (1.0f - hc[j] * hc[j]);
+      dhpr[j] = dhr[j] * (1.0f - z[j]);
+    }
+  }
+  // Candidate path: dpre_h = dhc; grads through Wh/Uh and r ⊙ h_prev.
+  Gemm(x, true, dhc, false, 1.0f, 1.0f, &wxh_.grad);
+  Gemm(cache.rh, true, dhc, false, 1.0f, 1.0f, &whh_.grad);
+  SumRowsAccumulate(dhc, &bh_.grad);
+  Tensor drh(b, h);
+  Gemm(dhc, false, whh_.value, true, 1.0f, 0.0f, &drh);
+  Tensor dr(b, h);
+  for (int64_t i = 0; i < b; ++i) {
+    const float* r = cache.r.row(i);
+    const float* hp = cache.h_prev.row(i);
+    const float* drhr = drh.row(i);
+    float* drr = dr.row(i);
+    float* dhpr = dh_prev->row(i);
+    for (int64_t j = 0; j < h; ++j) {
+      drr[j] = drhr[j] * hp[j] * r[j] * (1.0f - r[j]);
+      dhpr[j] += drhr[j] * r[j];
+    }
+  }
+  // Gate paths.
+  Gemm(x, true, dz, false, 1.0f, 1.0f, &wxz_.grad);
+  Gemm(cache.h_prev, true, dz, false, 1.0f, 1.0f, &whz_.grad);
+  SumRowsAccumulate(dz, &bz_.grad);
+  Gemm(x, true, dr, false, 1.0f, 1.0f, &wxr_.grad);
+  Gemm(cache.h_prev, true, dr, false, 1.0f, 1.0f, &whr_.grad);
+  SumRowsAccumulate(dr, &br_.grad);
+  Gemm(dz, false, whz_.value, true, 1.0f, 1.0f, dh_prev);
+  Gemm(dr, false, whr_.value, true, 1.0f, 1.0f, dh_prev);
+  if (dx != nullptr) {
+    dx->ResizeAndZero(b, input_dim());
+    Gemm(dz, false, wxz_.value, true, 1.0f, 0.0f, dx);
+    Gemm(dr, false, wxr_.value, true, 1.0f, 1.0f, dx);
+    Gemm(dhc, false, wxh_.value, true, 1.0f, 1.0f, dx);
+  }
+}
+
+SequenceRegressor::SequenceRegressor(RnnKind kind, int64_t vocab,
+                                     int64_t embed_dim, int64_t hidden_dim,
+                                     Rng* rng)
+    : kind_(kind), embed_(vocab, embed_dim, rng) {
+  if (kind_ == RnnKind::kLstm) {
+    lstm_ = LstmCell(embed_dim, hidden_dim, rng);
+  } else {
+    gru_ = GruCell(embed_dim, hidden_dim, rng);
+  }
+  head_ = Dense(hidden_dim, 1, Activation::kNone, rng);
+}
+
+void SequenceRegressor::Forward(const std::vector<uint32_t>& ids,
+                                int64_t batch, int64_t len, Tensor* out) {
+  assert(static_cast<int64_t>(ids.size()) == batch * len);
+  const int64_t h =
+      kind_ == RnnKind::kLstm ? lstm_.hidden_dim() : gru_.hidden_dim();
+  x_steps_.resize(static_cast<size_t>(len));
+  std::vector<uint32_t> step_ids(static_cast<size_t>(batch));
+  if (kind_ == RnnKind::kLstm) {
+    lstm_caches_.resize(static_cast<size_t>(len));
+  } else {
+    gru_caches_.resize(static_cast<size_t>(len));
+  }
+  Tensor h0 = Tensor::Zeros(batch, h);
+  Tensor c0 = Tensor::Zeros(batch, h);
+  for (int64_t t = 0; t < len; ++t) {
+    for (int64_t i = 0; i < batch; ++i) {
+      step_ids[static_cast<size_t>(i)] =
+          ids[static_cast<size_t>(i * len + t)];
+    }
+    embed_.Forward(step_ids, &x_steps_[static_cast<size_t>(t)]);
+    if (kind_ == RnnKind::kLstm) {
+      auto& cache = lstm_caches_[static_cast<size_t>(t)];
+      cache.h_prev = (t == 0) ? h0 : lstm_caches_[static_cast<size_t>(t - 1)].h;
+      cache.c_prev = (t == 0) ? c0 : lstm_caches_[static_cast<size_t>(t - 1)].c;
+      lstm_.Forward(x_steps_[static_cast<size_t>(t)], &cache);
+    } else {
+      auto& cache = gru_caches_[static_cast<size_t>(t)];
+      cache.h_prev = (t == 0) ? h0 : gru_caches_[static_cast<size_t>(t - 1)].h;
+      gru_.Forward(x_steps_[static_cast<size_t>(t)], &cache);
+    }
+  }
+  const Tensor& last_h = kind_ == RnnKind::kLstm
+                             ? lstm_caches_.back().h
+                             : gru_caches_.back().h;
+  head_.Forward(last_h, &head_out_);
+  *out = head_out_;
+}
+
+void SequenceRegressor::ForwardBackward(const std::vector<uint32_t>& ids,
+                                        int64_t batch, int64_t len,
+                                        Tensor* out, const Tensor& dout) {
+  Forward(ids, batch, len, out);
+  const Tensor& last_h = kind_ == RnnKind::kLstm
+                             ? lstm_caches_.back().h
+                             : gru_caches_.back().h;
+  Tensor dy = dout;
+  Tensor dh;
+  head_.Backward(last_h, head_out_, &dy, &dh);
+  const int64_t h_dim =
+      kind_ == RnnKind::kLstm ? lstm_.hidden_dim() : gru_.hidden_dim();
+  Tensor dc = Tensor::Zeros(batch, h_dim);
+  std::vector<uint32_t> step_ids(static_cast<size_t>(batch));
+  Tensor dx, dh_prev, dc_prev;
+  for (int64_t t = len - 1; t >= 0; --t) {
+    if (kind_ == RnnKind::kLstm) {
+      lstm_.Backward(x_steps_[static_cast<size_t>(t)],
+                     lstm_caches_[static_cast<size_t>(t)], &dh, &dc, &dx,
+                     &dh_prev, &dc_prev);
+      dc = dc_prev;
+    } else {
+      gru_.Backward(x_steps_[static_cast<size_t>(t)],
+                    gru_caches_[static_cast<size_t>(t)], &dh, &dx, &dh_prev);
+    }
+    dh = dh_prev;
+    for (int64_t i = 0; i < batch; ++i) {
+      step_ids[static_cast<size_t>(i)] =
+          ids[static_cast<size_t>(i * len + t)];
+    }
+    embed_.Backward(step_ids, dx);
+  }
+}
+
+void SequenceRegressor::CollectParameters(std::vector<Parameter*>* out) {
+  embed_.CollectParameters(out);
+  if (kind_ == RnnKind::kLstm) {
+    lstm_.CollectParameters(out);
+  } else {
+    gru_.CollectParameters(out);
+  }
+  head_.CollectParameters(out);
+}
+
+size_t SequenceRegressor::ByteSize() const {
+  size_t cell = kind_ == RnnKind::kLstm ? lstm_.ByteSize() : gru_.ByteSize();
+  return embed_.ByteSize() + cell + head_.ByteSize();
+}
+
+}  // namespace los::nn

@@ -1,0 +1,149 @@
+#ifndef LOS_NN_RNN_H_
+#define LOS_NN_RNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace los::nn {
+
+/// \brief LSTM cell with packed gate weights (order: i, f, g, o).
+///
+/// Used as the sequence baseline in the paper's digit-summation experiment
+/// (Figure 7): unlike DeepSets, an LSTM consumes the set as an ordered
+/// sequence and is not permutation invariant.
+class LstmCell {
+ public:
+  /// Per-timestep activation cache for backward.
+  struct StepCache {
+    Tensor gates;   // (B x 4H) post-activation [i | f | g | o]
+    Tensor c;       // (B x H) new cell state
+    Tensor h;       // (B x H) new hidden state
+    Tensor c_prev;  // (B x H)
+    Tensor h_prev;  // (B x H)
+  };
+
+  LstmCell() = default;
+  LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// One step: consumes x_t (B x E) and the previous state from `cache`
+  /// (h_prev/c_prev must be set); fills gates/c/h.
+  void Forward(const Tensor& x, StepCache* cache) const;
+
+  /// One step of BPTT. `dh`/`dc` are grads w.r.t. this step's h/c (clobbered);
+  /// outputs grads w.r.t. x, h_prev, c_prev. Parameter grads accumulate.
+  void Backward(const Tensor& x, const StepCache& cache, Tensor* dh,
+                Tensor* dc, Tensor* dx, Tensor* dh_prev, Tensor* dc_prev);
+
+  int64_t input_dim() const { return wx_.value.rows(); }
+  int64_t hidden_dim() const { return wx_.value.cols() / 4; }
+
+  void CollectParameters(std::vector<Parameter*>* out) {
+    out->push_back(&wx_);
+    out->push_back(&wh_);
+    out->push_back(&bias_);
+  }
+
+  size_t ByteSize() const {
+    return wx_.ByteSize() + wh_.ByteSize() + bias_.ByteSize();
+  }
+
+ private:
+  Parameter wx_;    // (E x 4H)
+  Parameter wh_;    // (H x 4H)
+  Parameter bias_;  // (1 x 4H)
+};
+
+/// \brief GRU cell (gates z, r and candidate h̃), the second Figure-7
+/// sequence baseline.
+class GruCell {
+ public:
+  struct StepCache {
+    Tensor z;       // (B x H)
+    Tensor r;       // (B x H)
+    Tensor hcand;   // (B x H)
+    Tensor rh;      // (B x H) r ⊙ h_prev
+    Tensor h;       // (B x H)
+    Tensor h_prev;  // (B x H)
+  };
+
+  GruCell() = default;
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  void Forward(const Tensor& x, StepCache* cache) const;
+
+  void Backward(const Tensor& x, const StepCache& cache, Tensor* dh,
+                Tensor* dx, Tensor* dh_prev);
+
+  int64_t input_dim() const { return wxz_.value.rows(); }
+  int64_t hidden_dim() const { return wxz_.value.cols(); }
+
+  void CollectParameters(std::vector<Parameter*>* out) {
+    for (Parameter* p : {&wxz_, &whz_, &bz_, &wxr_, &whr_, &br_, &wxh_, &whh_,
+                         &bh_}) {
+      out->push_back(p);
+    }
+  }
+
+  size_t ByteSize() const {
+    return wxz_.ByteSize() + whz_.ByteSize() + bz_.ByteSize() +
+           wxr_.ByteSize() + whr_.ByteSize() + br_.ByteSize() +
+           wxh_.ByteSize() + whh_.ByteSize() + bh_.ByteSize();
+  }
+
+ private:
+  Parameter wxz_, whz_, bz_;
+  Parameter wxr_, whr_, br_;
+  Parameter wxh_, whh_, bh_;
+};
+
+/// Which recurrent cell a SequenceRegressor uses.
+enum class RnnKind { kLstm, kGru };
+
+/// \brief Embedding → RNN → Dense(1) regressor over id sequences.
+///
+/// Reproduces the LSTM/GRU baselines of the digit-sum experiment: the model
+/// reads the set as a sequence, so its output depends on element order —
+/// the property DeepSets removes. Batches must contain equal-length
+/// sequences (the trainer buckets by length).
+class SequenceRegressor {
+ public:
+  SequenceRegressor(RnnKind kind, int64_t vocab, int64_t embed_dim,
+                    int64_t hidden_dim, Rng* rng);
+
+  /// Predicts one scalar per sequence. `ids` is (B*T) flattened row-major
+  /// with fixed length T per sequence.
+  void Forward(const std::vector<uint32_t>& ids, int64_t batch, int64_t len,
+               Tensor* out);
+
+  /// Runs forward + backward for a batch and accumulates parameter grads.
+  /// `dout` is dL/d(prediction), shape (B x 1).
+  void ForwardBackward(const std::vector<uint32_t>& ids, int64_t batch,
+                       int64_t len, Tensor* out, const Tensor& dout);
+
+  void CollectParameters(std::vector<Parameter*>* out);
+
+  size_t ByteSize() const;
+
+  RnnKind kind() const { return kind_; }
+
+ private:
+  RnnKind kind_;
+  Embedding embed_;
+  LstmCell lstm_;
+  GruCell gru_;
+  Dense head_;
+
+  // Per-batch caches (reused).
+  std::vector<Tensor> x_steps_;
+  std::vector<LstmCell::StepCache> lstm_caches_;
+  std::vector<GruCell::StepCache> gru_caches_;
+  Tensor head_out_;
+};
+
+}  // namespace los::nn
+
+#endif  // LOS_NN_RNN_H_

@@ -1,0 +1,115 @@
+#ifndef LOS_NN_TENSOR_H_
+#define LOS_NN_TENSOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace los::nn {
+
+/// \brief Dense row-major 2-D float32 matrix.
+///
+/// The whole NN stack works on rank-2 tensors: a batch of vectors is
+/// `(batch, dim)`; a single vector is `(1, dim)`. This deliberately simple
+/// representation keeps the hand-written backward passes auditable.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Uninitialized-contents tensor of the given shape (values are zero).
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds a tensor from explicit row-major values.
+  static Tensor FromValues(int64_t rows, int64_t cols,
+                           std::vector<float> values);
+
+  /// All-zero tensor.
+  static Tensor Zeros(int64_t rows, int64_t cols) {
+    return Tensor(rows, cols);
+  }
+
+  /// Constant-filled tensor.
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the beginning of row `i`.
+  float* row(int64_t i) { return data_.data() + i * cols_; }
+  const float* row(int64_t i) const { return data_.data() + i * cols_; }
+
+  float& operator()(int64_t i, int64_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  float operator()(int64_t i, int64_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  /// Reshapes without reallocation; total size must match.
+  void Reshape(int64_t rows, int64_t cols);
+
+  /// Resizes to the given shape; contents are zeroed.
+  void ResizeAndZero(int64_t rows, int64_t cols);
+
+  /// Sets every entry to zero (shape unchanged).
+  void SetZero();
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Mean of all entries (0 for empty tensors).
+  double Mean() const;
+
+  /// Largest absolute entry (0 for empty tensors).
+  float AbsMax() const;
+
+  /// Elementwise in-place scale.
+  void Scale(float s);
+
+  /// Elementwise in-place add of a same-shaped tensor.
+  void Add(const Tensor& other);
+
+  /// this += s * other (axpy), shapes must match.
+  void Axpy(float s, const Tensor& other);
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// "Tensor(3x4)" plus first few values; for debugging/logging.
+  std::string ToString(int64_t max_values = 8) const;
+
+  /// Serialized byte footprint of the payload (what memory benches count).
+  size_t ByteSize() const { return data_.size() * sizeof(float); }
+
+  void Save(BinaryWriter* w) const;
+  static Result<Tensor> Load(BinaryReader* r);
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace los::nn
+
+#endif  // LOS_NN_TENSOR_H_

@@ -1,0 +1,73 @@
+#include "sets/dictionary.h"
+
+namespace los::sets {
+
+ElementId Dictionary::GetOrAdd(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  ElementId id = static_cast<ElementId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int64_t Dictionary::Find(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+const std::string& Dictionary::Token(ElementId id) const {
+  if (id >= tokens_.size()) return empty_;
+  return tokens_[id];
+}
+
+std::vector<ElementId> Dictionary::Encode(
+    const std::vector<std::string>& tokens) {
+  std::vector<ElementId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(GetOrAdd(t));
+  Canonicalize(&ids);
+  return ids;
+}
+
+std::vector<std::string> Dictionary::Decode(SetView ids) const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (ElementId id : ids) out.push_back(Token(id));
+  return out;
+}
+
+size_t Dictionary::MemoryBytes() const {
+  size_t bytes = ids_.bucket_count() * sizeof(void*);
+  for (const auto& t : tokens_) {
+    bytes += sizeof(std::string) * 2 + t.capacity() * 2 + sizeof(ElementId) +
+             2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+void Dictionary::Save(BinaryWriter* w) const {
+  w->WriteU64(tokens_.size());
+  for (const auto& t : tokens_) w->WriteString(t);
+}
+
+Result<Dictionary> Dictionary::Load(BinaryReader* r) {
+  auto n = r->ReadU64();
+  if (!n.ok()) return n.status();
+  // Each token costs at least its 8-byte length prefix; a count beyond that
+  // is corruption, not data.
+  if (*n > r->remaining() / 8) {
+    return Status::Internal("dictionary token count exceeds payload");
+  }
+  Dictionary d;
+  d.tokens_.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto t = r->ReadString();
+    if (!t.ok()) return t.status();
+    d.tokens_.push_back(std::move(*t));
+    d.ids_.emplace(d.tokens_.back(), static_cast<ElementId>(i));
+  }
+  return d;
+}
+
+}  // namespace los::sets

@@ -1,0 +1,57 @@
+#ifndef LOS_SETS_DICTIONARY_H_
+#define LOS_SETS_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "sets/set_collection.h"
+
+namespace los::sets {
+
+/// \brief Bidirectional string ↔ dense-id dictionary.
+///
+/// The compression step requires integer element ids ("the elements of the
+/// sets need to be represented as integer values"); real data (hashtags,
+/// file paths, user names) is strings. The dictionary assigns ids in first-
+/// seen order and supports reverse lookup for presenting results.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Id of `token`, inserting it if new.
+  ElementId GetOrAdd(std::string_view token);
+
+  /// Id of `token` if present, -1 otherwise (does not insert).
+  int64_t Find(std::string_view token) const;
+
+  /// Token for an id; empty string for unknown ids.
+  const std::string& Token(ElementId id) const;
+
+  /// Encodes a token list into a canonical (sorted, distinct) id set,
+  /// inserting unseen tokens.
+  std::vector<ElementId> Encode(const std::vector<std::string>& tokens);
+
+  /// Decodes ids back to tokens.
+  std::vector<std::string> Decode(SetView ids) const;
+
+  size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+
+  size_t MemoryBytes() const;
+
+  void Save(BinaryWriter* w) const;
+  static Result<Dictionary> Load(BinaryReader* r);
+
+ private:
+  std::unordered_map<std::string, ElementId> ids_;
+  std::vector<std::string> tokens_;
+  std::string empty_;
+};
+
+}  // namespace los::sets
+
+#endif  // LOS_SETS_DICTIONARY_H_

@@ -1,0 +1,151 @@
+#include "sets/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace los::sets {
+
+namespace {
+
+/// Draws one set of `target_size` distinct elements from the sampler.
+std::vector<ElementId> DrawDistinct(const ZipfSampler& sampler,
+                                    size_t target_size, size_t num_unique,
+                                    Rng* rng) {
+  target_size = std::min(target_size, num_unique);
+  std::unordered_set<ElementId> seen;
+  std::vector<ElementId> out;
+  out.reserve(target_size);
+  // Rejection loop; with a Zipf head a few retries per element are expected.
+  size_t attempts = 0;
+  const size_t max_attempts = target_size * 64 + 64;
+  while (out.size() < target_size && attempts < max_attempts) {
+    ++attempts;
+    auto e = static_cast<ElementId>(sampler.Sample(rng));
+    if (seen.insert(e).second) out.push_back(e);
+  }
+  // Extremely skewed draws may stall; fill with uniform picks.
+  while (out.size() < target_size) {
+    auto e = static_cast<ElementId>(rng->Uniform(num_unique));
+    if (seen.insert(e).second) out.push_back(e);
+  }
+  return out;
+}
+
+SetCollection GenerateZipfCollection(size_t num_sets, size_t num_unique,
+                                     double skew, size_t min_size,
+                                     size_t max_size, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler sampler(num_unique, skew);
+  SetCollection collection;
+  for (size_t i = 0; i < num_sets; ++i) {
+    size_t size = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(min_size),
+                         static_cast<int64_t>(max_size)));
+    collection.Add(DrawDistinct(sampler, size, num_unique, &rng));
+  }
+  return collection;
+}
+
+}  // namespace
+
+SetCollection GenerateRw(const RwConfig& c) {
+  return GenerateZipfCollection(c.num_sets, c.num_unique, c.zipf_skew,
+                                c.min_set_size, c.max_set_size, c.seed);
+}
+
+SetCollection GenerateTweets(const TweetsConfig& c) {
+  return GenerateZipfCollection(c.num_sets, c.num_unique, c.zipf_skew,
+                                c.min_set_size, c.max_set_size, c.seed);
+}
+
+SetCollection GenerateSd(const SdConfig& c) {
+  // Uniform (skew 0) combinations of a small universe, as in the paper's SD.
+  return GenerateZipfCollection(c.num_sets, c.num_unique, 0.0, c.min_set_size,
+                                c.max_set_size, c.seed);
+}
+
+Result<SetCollection> GenerateNamedDataset(const std::string& name,
+                                           double scale, uint64_t seed) {
+  auto scaled = [scale](size_t n) {
+    return static_cast<size_t>(std::max(1.0, n * scale));
+  };
+  if (name == "rw-small") {
+    RwConfig c;
+    c.num_sets = scaled(20000);
+    c.num_unique = scaled(3000);
+    c.seed = seed;
+    return GenerateRw(c);
+  }
+  if (name == "rw-mid") {
+    RwConfig c;
+    c.num_sets = scaled(150000);
+    c.num_unique = scaled(23000);
+    c.seed = seed;
+    return GenerateRw(c);
+  }
+  if (name == "rw-large") {
+    RwConfig c;
+    c.num_sets = scaled(300000);
+    c.num_unique = scaled(35000);
+    c.seed = seed;
+    return GenerateRw(c);
+  }
+  if (name == "tweets") {
+    TweetsConfig c;
+    c.num_sets = scaled(19000);
+    c.num_unique = scaled(740);
+    c.seed = seed;
+    return GenerateTweets(c);
+  }
+  if (name == "sd") {
+    SdConfig c;
+    c.num_sets = scaled(10000);
+    c.num_unique = scaled(566);
+    c.seed = seed;
+    return GenerateSd(c);
+  }
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+std::vector<DigitSumInstance> GenerateDigitSum(size_t num_instances,
+                                               size_t max_len,
+                                               uint32_t max_value, Rng* rng) {
+  std::vector<DigitSumInstance> out;
+  out.reserve(num_instances);
+  for (size_t i = 0; i < num_instances; ++i) {
+    size_t len = static_cast<size_t>(
+        rng->UniformRange(1, static_cast<int64_t>(max_len)));
+    DigitSumInstance inst;
+    inst.values.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      auto v = static_cast<uint32_t>(
+          rng->UniformRange(1, static_cast<int64_t>(max_value)));
+      inst.values.push_back(v);
+      inst.sum += v;
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+std::vector<DigitSumInstance> GenerateDigitSumFixedLen(size_t num_instances,
+                                                       size_t len,
+                                                       uint32_t max_value,
+                                                       Rng* rng) {
+  std::vector<DigitSumInstance> out;
+  out.reserve(num_instances);
+  for (size_t i = 0; i < num_instances; ++i) {
+    DigitSumInstance inst;
+    inst.values.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      auto v = static_cast<uint32_t>(
+          rng->UniformRange(1, static_cast<int64_t>(max_value)));
+      inst.values.push_back(v);
+      inst.sum += v;
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace los::sets

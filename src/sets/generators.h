@@ -1,0 +1,88 @@
+#ifndef LOS_SETS_GENERATORS_H_
+#define LOS_SETS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sets/set_collection.h"
+
+namespace los::sets {
+
+/// \brief Synthetic stand-in for the paper's proprietary RW dataset
+/// (company server logs; Table 2).
+///
+/// Elements are drawn from a Zipf distribution ("most of the elements
+/// appearing only in a small number of sets"), set sizes are uniform in
+/// [min_set_size, max_set_size] (paper: 2-8). `num_unique` controls the
+/// universe; the paper's RW-200k has ~30k unique elements for 200k sets,
+/// i.e. a ratio of ~0.15, which the defaults follow.
+struct RwConfig {
+  size_t num_sets = 20000;
+  size_t num_unique = 3000;
+  double zipf_skew = 0.9;
+  size_t min_set_size = 2;
+  size_t max_set_size = 8;
+  uint64_t seed = 42;
+};
+
+SetCollection GenerateRw(const RwConfig& config);
+
+/// \brief Synthetic stand-in for the Tweets hashtag dataset: heavier Zipf
+/// tail (hashtag frequencies follow Zipf's law) and wider size range,
+/// including singleton sets.
+struct TweetsConfig {
+  size_t num_sets = 19000;
+  size_t num_unique = 740;
+  double zipf_skew = 1.1;
+  size_t min_set_size = 1;
+  size_t max_set_size = 12;
+  uint64_t seed = 42;
+};
+
+SetCollection GenerateTweets(const TweetsConfig& config);
+
+/// \brief The paper's synthetic SD dataset: random combinations of a small
+/// universe ("fewer unique elements that appear often in different sets"),
+/// set sizes 6-7.
+struct SdConfig {
+  size_t num_sets = 10000;
+  size_t num_unique = 566;
+  size_t min_set_size = 6;
+  size_t max_set_size = 7;
+  uint64_t seed = 42;
+};
+
+SetCollection GenerateSd(const SdConfig& config);
+
+/// Named dataset selector used by benches/examples ("rw-small", "rw-mid",
+/// "rw-large", "tweets", "sd"). `scale` multiplies the default set counts
+/// (1.0 reproduces the laptop-scale defaults).
+Result<SetCollection> GenerateNamedDataset(const std::string& name,
+                                           double scale = 1.0,
+                                           uint64_t seed = 42);
+
+/// \brief One instance of the Figure-7 digit-summation task: a multiset of
+/// values in [1, max_value] and their sum.
+struct DigitSumInstance {
+  std::vector<uint32_t> values;
+  double sum = 0.0;
+};
+
+/// Training data for the digit-sum experiment: each instance samples a
+/// length in [1, max_len] and values uniform in [1, max_value].
+std::vector<DigitSumInstance> GenerateDigitSum(size_t num_instances,
+                                               size_t max_len,
+                                               uint32_t max_value, Rng* rng);
+
+/// Test data with a *fixed* length (the paper evaluates sums of exactly M
+/// digits for M in [5, 100], probing generalization beyond training sizes).
+std::vector<DigitSumInstance> GenerateDigitSumFixedLen(size_t num_instances,
+                                                       size_t len,
+                                                       uint32_t max_value,
+                                                       Rng* rng);
+
+}  // namespace los::sets
+
+#endif  // LOS_SETS_GENERATORS_H_

@@ -1,0 +1,28 @@
+#include "sets/set_hash.h"
+
+namespace los::sets {
+
+uint64_t MixElement(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSetSorted(SetView s) {
+  // FNV-style chaining over mixed elements of the canonical ordering.
+  uint64_t h = 0xcbf29ce484222325ULL ^ (s.size() * 0x100000001b3ULL);
+  for (ElementId e : s) {
+    h ^= MixElement(e);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t CommutativeHash(SetView s) {
+  uint64_t h = 0;
+  for (ElementId e : s) h += MixElement(static_cast<uint64_t>(e) + 1);
+  return MixElement(h ^ s.size());
+}
+
+}  // namespace los::sets

@@ -1,0 +1,93 @@
+#include "sets/set_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace los::sets {
+
+namespace {
+
+/// Splits `line` on `delimiter` (runs of the delimiter collapse; leading/
+/// trailing delimiters ignored).
+std::vector<std::string> SplitTokens(const std::string& line,
+                                     char delimiter) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == delimiter || ch == '\t' || ch == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace
+
+Result<TextCollection> ParseSetsText(const std::string& text,
+                                     char delimiter) {
+  TextCollection out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line.rfind("//", 0) == 0) continue;
+    std::vector<std::string> tokens = SplitTokens(line, delimiter);
+    if (tokens.empty()) continue;
+    out.collection.AddSorted(out.dictionary.Encode(tokens));
+  }
+  return out;
+}
+
+Result<TextCollection> ReadSetsFile(const std::string& path, char delimiter) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string text(static_cast<size_t>(size), '\0');
+  size_t read = std::fread(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (read != text.size()) return Status::IoError("short read: " + path);
+  return ParseSetsText(text, delimiter);
+}
+
+Status WriteSetsFile(const std::string& path, const SetCollection& collection,
+                     const Dictionary& dictionary, char delimiter) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    SetView s = collection.set(i);
+    for (size_t j = 0; j < s.size(); ++j) {
+      if (j > 0) std::fputc(delimiter, f);
+      const std::string& token = dictionary.Token(s[j]);
+      if (token.empty()) {
+        std::fprintf(f, "%u", s[j]);
+      } else {
+        std::fputs(token.c_str(), f);
+      }
+    }
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<ElementId>> ParseQueryLine(const std::string& line,
+                                              const Dictionary& dictionary,
+                                              char delimiter) {
+  std::vector<ElementId> ids;
+  for (const auto& token : SplitTokens(line, delimiter)) {
+    int64_t id = dictionary.Find(token);
+    if (id < 0) return Status::NotFound("unknown element: " + token);
+    ids.push_back(static_cast<ElementId>(id));
+  }
+  Canonicalize(&ids);
+  return ids;
+}
+
+}  // namespace los::sets

@@ -1,0 +1,48 @@
+#ifndef LOS_SETS_SET_IO_H_
+#define LOS_SETS_SET_IO_H_
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "sets/dictionary.h"
+#include "sets/set_collection.h"
+
+namespace los::sets {
+
+/// \brief Text set-file I/O.
+///
+/// Format: one set per line, elements separated by whitespace (or a custom
+/// single-character delimiter). Elements are arbitrary tokens — hashtags,
+/// paths, ids — dictionary-encoded on load. Blank lines and lines starting
+/// with "//" are skipped (hashtag data makes '#' a poor comment marker). This is the interchange format the CLI and
+/// examples use for real data.
+struct TextCollection {
+  SetCollection collection;
+  Dictionary dictionary;
+};
+
+/// Parses a whole text buffer into a collection + dictionary.
+Result<TextCollection> ParseSetsText(const std::string& text,
+                                     char delimiter = ' ');
+
+/// Reads a set file from disk.
+Result<TextCollection> ReadSetsFile(const std::string& path,
+                                    char delimiter = ' ');
+
+/// Writes a collection back to a set file using the dictionary's tokens
+/// (unknown ids are written as their decimal value).
+Status WriteSetsFile(const std::string& path, const SetCollection& collection,
+                     const Dictionary& dictionary, char delimiter = ' ');
+
+/// Parses one whitespace/delimiter-separated query line into a canonical id
+/// set. Tokens missing from the dictionary produce NotFound (a query with
+/// an unseen element cannot match anything — callers may treat this as an
+/// empty result).
+Result<std::vector<ElementId>> ParseQueryLine(const std::string& line,
+                                              const Dictionary& dictionary,
+                                              char delimiter = ' ');
+
+}  // namespace los::sets
+
+#endif  // LOS_SETS_SET_IO_H_

@@ -1,0 +1,89 @@
+#ifndef LOS_SETS_SUBSET_GEN_H_
+#define LOS_SETS_SUBSET_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sets/set_collection.h"
+
+namespace los::sets {
+
+/// \brief CSR container of subsets with per-subset labels.
+///
+/// The supervised training data of §7.1.1: every distinct subset of the
+/// collection's sets (up to a size limit), labelled with its cardinality
+/// |{i : q ⊆ X_i}| and the first position min{i : q ⊆ X_i}.
+class LabeledSubsets {
+ public:
+  /// Appends a subset with its labels.
+  void Append(SetView subset, double cardinality, double first_position);
+
+  size_t size() const { return cardinality_.size(); }
+  bool empty() const { return size() == 0; }
+
+  SetView subset(size_t i) const {
+    return SetView(elements_.data() + offsets_[i],
+                   static_cast<size_t>(offsets_[i + 1] - offsets_[i]));
+  }
+
+  double cardinality(size_t i) const { return cardinality_[i]; }
+  double first_position(size_t i) const { return first_position_[i]; }
+
+  const std::vector<double>& cardinalities() const { return cardinality_; }
+  const std::vector<double>& first_positions() const {
+    return first_position_;
+  }
+
+  /// Largest cardinality label (the paper's observation: equals the largest
+  /// single-element cardinality). 0 when empty.
+  double MaxCardinality() const;
+
+  /// Largest first-position label. 0 when empty.
+  double MaxFirstPosition() const;
+
+  size_t MemoryBytes() const {
+    return elements_.size() * sizeof(ElementId) +
+           offsets_.size() * sizeof(uint64_t) +
+           (cardinality_.size() + first_position_.size()) * sizeof(double);
+  }
+
+ private:
+  std::vector<ElementId> elements_;
+  std::vector<uint64_t> offsets_{0};
+  std::vector<double> cardinality_;
+  std::vector<double> first_position_;
+};
+
+/// Options for subset enumeration.
+struct SubsetGenOptions {
+  /// Largest subset size to enumerate. §7.1.1: "subsets above size six are
+  /// already infrequent, and thus, we generate only the subsets up to this
+  /// size".
+  size_t max_subset_size = 6;
+
+  /// Safety cap on the number of *distinct* subsets. Once reached, no new
+  /// subsets are admitted (labels of admitted ones remain exact). 0 = no cap.
+  size_t max_distinct_subsets = 0;
+};
+
+/// \brief Enumerates all distinct subsets of every set in `collection` (sizes
+/// 1..max_subset_size) and labels each with its exact cardinality and first
+/// position. Single pass over the collection; memory is one hash-map entry
+/// per distinct subset.
+LabeledSubsets EnumerateLabeledSubsets(const SetCollection& collection,
+                                       const SubsetGenOptions& options = {});
+
+/// Calls `fn(subset)` for every size-1..max_size subset of sorted `s`
+/// (combinations in lexicographic order). The span passed to `fn` is only
+/// valid during the call.
+void ForEachSubset(SetView s, size_t max_size,
+                   const std::function<void(SetView)>& fn);
+
+/// Number of subsets of sizes 1..max_size of an n-element set:
+/// sum_k C(n, k). Saturates at SIZE_MAX.
+size_t CountSubsets(size_t n, size_t max_size);
+
+}  // namespace los::sets
+
+#endif  // LOS_SETS_SUBSET_GEN_H_

@@ -1,0 +1,73 @@
+#include "sets/workload.h"
+
+#include <algorithm>
+
+namespace los::sets {
+
+std::vector<Query> SampleQueries(const LabeledSubsets& subsets,
+                                 QueryLabel label, size_t n, Rng* rng) {
+  std::vector<Query> out;
+  if (subsets.empty()) return out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = rng->Uniform(subsets.size());
+    Query q;
+    SetView v = subsets.subset(idx);
+    q.elements.assign(v.begin(), v.end());
+    q.truth = label == QueryLabel::kCardinality ? subsets.cardinality(idx)
+                                                : subsets.first_position(idx);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<size_t> BucketByResultSize(
+    const std::vector<Query>& queries,
+    const std::vector<double>& bucket_edges) {
+  std::vector<size_t> out(queries.size(), bucket_edges.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t b = 0; b < bucket_edges.size(); ++b) {
+      if (queries[i].truth <= bucket_edges[b]) {
+        out[i] = b;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Query> SampleNegativeQueries(
+    ElementId universe_size, size_t max_size, size_t n,
+    const std::function<bool(SetView)>& contains, Rng* rng) {
+  std::vector<Query> out;
+  out.reserve(n);
+  if (universe_size == 0) return out;
+  size_t attempts = 0;
+  const size_t max_attempts = n * 200 + 1000;
+  while (out.size() < n && attempts < max_attempts) {
+    ++attempts;
+    size_t size = static_cast<size_t>(
+        rng->UniformRange(1, static_cast<int64_t>(std::max<size_t>(max_size, 1))));
+    std::vector<ElementId> elems;
+    elems.reserve(size);
+    for (size_t j = 0; j < size; ++j) {
+      elems.push_back(static_cast<ElementId>(rng->Uniform(universe_size)));
+    }
+    Canonicalize(&elems);
+    if (contains(SetView(elems.data(), elems.size()))) continue;
+    Query q;
+    q.elements = std::move(elems);
+    q.truth = 0.0;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<Query> SamplePositiveQueries(const LabeledSubsets& subsets,
+                                         size_t n, Rng* rng) {
+  auto qs = SampleQueries(subsets, QueryLabel::kCardinality, n, rng);
+  for (auto& q : qs) q.truth = 1.0;
+  return qs;
+}
+
+}  // namespace los::sets

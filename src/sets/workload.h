@@ -1,0 +1,53 @@
+#ifndef LOS_SETS_WORKLOAD_H_
+#define LOS_SETS_WORKLOAD_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "sets/set_collection.h"
+#include "sets/subset_gen.h"
+
+namespace los::sets {
+
+/// \brief One evaluation query: a sorted query set plus its ground truth.
+struct Query {
+  std::vector<ElementId> elements;
+  double truth = 0.0;  // cardinality / first position / membership(0 or 1)
+
+  SetView view() const { return SetView(elements.data(), elements.size()); }
+};
+
+/// Which label of a LabeledSubsets becomes the query's ground truth.
+enum class QueryLabel { kCardinality, kFirstPosition };
+
+/// Samples `n` queries uniformly from the enumerated subsets (with
+/// replacement). This mirrors the paper's "query workload ... created using
+/// subsets of the original sets having both few and many elements".
+std::vector<Query> SampleQueries(const LabeledSubsets& subsets,
+                                 QueryLabel label, size_t n, Rng* rng);
+
+/// Groups query indices into result-size buckets for Figure 6's
+/// "q-error per query result size" breakdown. `bucket_edges` are inclusive
+/// upper bounds of each bucket; truths above the last edge go to a final
+/// overflow bucket. Returns bucket index per query.
+std::vector<size_t> BucketByResultSize(const std::vector<Query>& queries,
+                                       const std::vector<double>& bucket_edges);
+
+/// \brief Negative sample generator for the Bloom-filter task (§7.1.2).
+///
+/// Draws random element combinations and keeps those that are *not* a subset
+/// of any collection set, as decided by the `contains` oracle (typically an
+/// InvertedIndex membership probe). Sizes are uniform in [1, max_size].
+std::vector<Query> SampleNegativeQueries(
+    ElementId universe_size, size_t max_size, size_t n,
+    const std::function<bool(SetView)>& contains, Rng* rng);
+
+/// Positive membership queries: subsets sampled from the collection, each
+/// labelled 1.
+std::vector<Query> SamplePositiveQueries(const LabeledSubsets& subsets,
+                                         size_t n, Rng* rng);
+
+}  // namespace los::sets
+
+#endif  // LOS_SETS_WORKLOAD_H_

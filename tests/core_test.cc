@@ -1,0 +1,901 @@
+// Tests for the core learned structures: target scaling, training data,
+// trainer + guided learning, local error bounds, and the three end-to-end
+// learned structures (cardinality, index, Bloom filter).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/inverted_index.h"
+#include "core/hybrid.h"
+#include "nn/losses.h"
+#include "core/learned_bloom.h"
+#include "core/partitioned_bloom.h"
+#include "core/sandwiched_bloom.h"
+#include "core/updatable_index.h"
+#include "core/learned_cardinality.h"
+#include "core/learned_index.h"
+#include "core/scaling.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "sets/generators.h"
+
+namespace los::core {
+namespace {
+
+// ---------- TargetScaler ----------
+
+TEST(TargetScalerTest, ScalesIntoUnitInterval) {
+  TargetScaler s = TargetScaler::FitRange(1.0, 1000.0);
+  EXPECT_DOUBLE_EQ(s.Scale(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Scale(1000.0), 1.0);
+  double mid = s.Scale(31.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(TargetScalerTest, UnscaleInvertsScale) {
+  TargetScaler s = TargetScaler::FitRange(1.0, 5000.0);
+  for (double y : {1.0, 2.0, 77.0, 4999.0, 5000.0}) {
+    EXPECT_NEAR(s.Unscale(s.Scale(y)), y, y * 1e-9);
+  }
+}
+
+TEST(TargetScalerTest, ClampsOutOfRange) {
+  TargetScaler s = TargetScaler::FitRange(1.0, 100.0);
+  EXPECT_DOUBLE_EQ(s.Scale(100000.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Scale(0.0), 0.0);
+  EXPECT_NEAR(s.Unscale(2.0), 100.0, 1e-9);
+}
+
+TEST(TargetScalerTest, FitFromLabels) {
+  TargetScaler s = TargetScaler::Fit({5.0, 2.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.Scale(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Scale(9.0), 1.0);
+}
+
+TEST(TargetScalerTest, DegenerateSingleLabel) {
+  TargetScaler s = TargetScaler::Fit({3.0});
+  EXPECT_NEAR(s.Unscale(s.Scale(3.0)), 3.0, 1e-6);
+}
+
+TEST(TargetScalerTest, SaveLoadRoundTrip) {
+  TargetScaler s = TargetScaler::FitRange(1.0, 777.0);
+  BinaryWriter w;
+  s.Save(&w);
+  BinaryReader r(w.bytes());
+  auto back = TargetScaler::Load(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->lo(), s.lo());
+  EXPECT_DOUBLE_EQ(back->hi(), s.hi());
+}
+
+// ---------- TrainingSet ----------
+
+sets::SetCollection SmallCollection() {
+  sets::SetCollection c;
+  c.Add({1, 2, 3});
+  c.Add({2, 3, 4});
+  c.Add({1, 5});
+  c.Add({2, 3});
+  return c;
+}
+
+TEST(TrainingSetTest, FromSubsetsCarriesLabels) {
+  auto c = SmallCollection();
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TargetScaler scaler = TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, scaler);
+  ASSERT_EQ(ts.size(), subsets.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(ts.raw_target(i), subsets.cardinality(i));
+    EXPECT_NEAR(ts.scaled_target(i), scaler.Scale(subsets.cardinality(i)),
+                1e-6);
+  }
+}
+
+TEST(TrainingSetTest, DeactivationTracksActive) {
+  auto c = SmallCollection();
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, TargetScaler::FitRange(1, 4));
+  size_t before = ts.CountActive();
+  ts.Deactivate(0);
+  ts.Deactivate(1);
+  EXPECT_EQ(ts.CountActive(), before - 2);
+  auto idx = ts.ActiveIndices();
+  EXPECT_EQ(idx.size(), before - 2);
+  EXPECT_TRUE(std::find(idx.begin(), idx.end(), 0u) == idx.end());
+}
+
+TEST(TrainingSetTest, GatherBatchBuildsCsr) {
+  TrainingSet ts;
+  std::vector<sets::ElementId> a{1, 2}, b{3};
+  ts.Append({a.data(), 2}, 5.0, 0.5f);
+  ts.Append({b.data(), 1}, 7.0, 0.7f);
+  std::vector<size_t> idx{1, 0};
+  std::vector<sets::ElementId> ids;
+  std::vector<int64_t> offsets;
+  nn::Tensor targets;
+  ts.GatherBatch(idx, 0, 2, &ids, &offsets, &targets);
+  EXPECT_EQ(ids, (std::vector<sets::ElementId>{3, 1, 2}));
+  EXPECT_EQ(offsets, (std::vector<int64_t>{0, 1, 3}));
+  EXPECT_FLOAT_EQ(targets(0, 0), 0.7f);
+  EXPECT_FLOAT_EQ(targets(1, 0), 0.5f);
+}
+
+// ---------- Trainer ----------
+
+TEST(TrainerTest, LossDecreasesOnLearnableTask) {
+  auto c = SmallCollection();
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TargetScaler scaler = TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, scaler);
+
+  ModelOptions mo;
+  mo.embed_dim = 4;
+  mo.phi_hidden = {16};
+  mo.rho_hidden = {16};
+  auto model = MakeSetModel(mo, c.universe_size());
+  ASSERT_TRUE(model.ok());
+
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 8;
+  cfg.learning_rate = 0.01f;
+  cfg.loss = LossKind::kMse;
+  Trainer trainer(cfg);
+  auto stats = trainer.Train(model->get(), ts);
+  ASSERT_EQ(stats.size(), 60u);
+  EXPECT_LT(stats.back().loss, stats.front().loss * 0.5);
+}
+
+TEST(TrainerTest, QErrorLossAlsoConverges) {
+  auto c = SmallCollection();
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TargetScaler scaler = TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, scaler);
+  ModelOptions mo;
+  mo.embed_dim = 4;
+  mo.phi_hidden = {16};
+  mo.rho_hidden = {16};
+  auto model = MakeSetModel(mo, c.universe_size());
+  ASSERT_TRUE(model.ok());
+  TrainConfig cfg;
+  cfg.epochs = 80;
+  cfg.batch_size = 8;
+  cfg.learning_rate = 0.01f;
+  cfg.loss = LossKind::kQError;
+  cfg.qerror_span = scaler.span();
+  Trainer trainer(cfg);
+  auto stats = trainer.Train(model->get(), ts);
+  double q = EvaluateAvgQError(model->get(), ts, scaler, ts.ActiveIndices());
+  EXPECT_LT(q, 1.6);
+}
+
+TEST(TrainerTest, PredictScaledMatchesPredictOne) {
+  auto c = SmallCollection();
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, TargetScaler::FitRange(1, 4));
+  ModelOptions mo;
+  auto model = MakeSetModel(mo, c.universe_size());
+  ASSERT_TRUE(model.ok());
+  Trainer trainer(TrainConfig{});
+  std::vector<size_t> idx{0, 2};
+  auto preds = trainer.PredictScaled(model->get(), ts, idx);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_NEAR(preds[0], (*model)->PredictOne(ts.subset(0)), 1e-6);
+  EXPECT_NEAR(preds[1], (*model)->PredictOne(ts.subset(2)), 1e-6);
+}
+
+TEST(GuidedTrainingTest, EvictsWorstSamples) {
+  sets::RwConfig rw;
+  rw.num_sets = 400;
+  rw.num_unique = 80;
+  auto c = GenerateRw(rw);
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TargetScaler scaler = TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, scaler);
+  const size_t total = ts.size();
+
+  ModelOptions mo;
+  mo.embed_dim = 4;
+  mo.phi_hidden = {16};
+  mo.rho_hidden = {16};
+  auto model = MakeSetModel(mo, c.universe_size());
+  ASSERT_TRUE(model.ok());
+
+  GuidedConfig g;
+  g.train.epochs = 8;
+  g.train.loss = LossKind::kMse;
+  g.rounds = 2;
+  g.keep_fraction = 0.8;
+  GuidedResult res = TrainGuided(model->get(), &ts, scaler, g);
+  // Evicts at most ~20% (less if errors below min_evict_qerror).
+  EXPECT_LE(res.outliers.size(), total / 4);
+  EXPECT_EQ(ts.CountActive(), total - res.outliers.size());
+  // History covers both rounds.
+  EXPECT_EQ(res.history.size(), 16u);
+}
+
+TEST(GuidedTrainingTest, PerfectModelEvictsNothing) {
+  // One set, one subset per label value: trivial to fit.
+  sets::SetCollection c;
+  c.Add({1});
+  auto subsets = EnumerateLabeledSubsets(c, {});
+  TargetScaler scaler = TargetScaler::FitRange(1.0, 2.0);
+  TrainingSet ts = TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, scaler);
+  ModelOptions mo;
+  auto model = MakeSetModel(mo, c.universe_size());
+  ASSERT_TRUE(model.ok());
+  GuidedConfig g;
+  g.train.epochs = 100;
+  g.train.loss = LossKind::kMse;
+  g.rounds = 3;
+  g.keep_fraction = 0.5;
+  GuidedResult res = TrainGuided(model->get(), &ts, scaler, g);
+  EXPECT_TRUE(res.outliers.empty());
+}
+
+// ---------- LocalErrorBounds ----------
+
+TEST(LocalErrorBoundsTest, PerRangeMaxima) {
+  std::vector<double> est{10, 20, 110, 120, 210};
+  std::vector<double> truth{12, 15, 111, 180, 210};
+  LocalErrorBounds b = LocalErrorBounds::Build(est, truth, 100);
+  EXPECT_EQ(b.num_ranges(), 3u);
+  EXPECT_DOUBLE_EQ(b.ErrorFor(15), 5.0);    // max(|10-12|, |20-15|)
+  EXPECT_DOUBLE_EQ(b.ErrorFor(115), 60.0);  // max(1, 60)
+  EXPECT_DOUBLE_EQ(b.ErrorFor(210), 0.0);
+  EXPECT_DOUBLE_EQ(b.GlobalMaxError(), 60.0);
+}
+
+TEST(LocalErrorBoundsTest, LocalBeatsGlobalOnSkewedErrors) {
+  // §8.3.3: one terrible prediction should not inflate every range.
+  std::vector<double> est, truth;
+  for (int i = 0; i < 1000; ++i) {
+    est.push_back(i);
+    truth.push_back(i + 1);  // everywhere error 1
+  }
+  est.push_back(5000);
+  truth.push_back(1);  // one catastrophic outlier
+  LocalErrorBounds b = LocalErrorBounds::Build(est, truth, 100);
+  EXPECT_DOUBLE_EQ(b.GlobalMaxError(), 4999.0);
+  EXPECT_DOUBLE_EQ(b.ErrorFor(500), 1.0);
+  EXPECT_LT(b.AverageError(), 200.0);
+}
+
+TEST(LocalErrorBoundsTest, OutOfDomainClamps) {
+  LocalErrorBounds b = LocalErrorBounds::Build({100, 200}, {105, 195}, 50);
+  EXPECT_DOUBLE_EQ(b.ErrorFor(-1000), b.ErrorFor(100));
+  EXPECT_DOUBLE_EQ(b.ErrorFor(1e9), b.ErrorFor(200));
+}
+
+TEST(LocalErrorBoundsTest, EmptyInputSafe) {
+  LocalErrorBounds b = LocalErrorBounds::Build({}, {}, 100);
+  EXPECT_DOUBLE_EQ(b.ErrorFor(42), 0.0);
+}
+
+TEST(LocalErrorBoundsTest, SaveLoadRoundTrip) {
+  LocalErrorBounds b = LocalErrorBounds::Build({1, 2, 300}, {5, 2, 310}, 10);
+  BinaryWriter w;
+  b.Save(&w);
+  BinaryReader r(w.bytes());
+  auto back = LocalErrorBounds::Load(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_ranges(), b.num_ranges());
+  EXPECT_DOUBLE_EQ(back->ErrorFor(1), b.ErrorFor(1));
+}
+
+TEST(OutlierMapTest, PutGet) {
+  OutlierMap m;
+  std::vector<sets::ElementId> a{1, 2};
+  m.Put({a.data(), 2}, 42.0);
+  EXPECT_EQ(*m.Get({a.data(), 2}), 42.0);
+  std::vector<sets::ElementId> b{1, 3};
+  EXPECT_FALSE(m.Get({b.data(), 2}).has_value());
+  EXPECT_GT(m.MemoryBytes(), 0u);
+}
+
+// ---------- End-to-end: cardinality estimator ----------
+
+class CardinalityE2E : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CardinalityE2E, EstimatesWithinModestQError) {
+  const bool compressed = GetParam();
+  sets::RwConfig rw;
+  rw.num_sets = 500;
+  rw.num_unique = 100;
+  auto c = GenerateRw(rw);
+
+  CardinalityOptions opts;
+  opts.model.compressed = compressed;
+  opts.model.embed_dim = 8;
+  opts.model.phi_hidden = {32};
+  opts.model.rho_hidden = {32};
+  opts.train.epochs = 40;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 3;
+  auto est = LearnedCardinalityEstimator::Build(c, opts);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+
+  // Evaluate on the training subsets (the paper also evaluates on subsets
+  // of the indexed sets).
+  auto subsets = EnumerateLabeledSubsets(c, {3});
+  baselines::InvertedIndex oracle(c);
+  double q_sum = 0;
+  size_t n = std::min<size_t>(subsets.size(), 500);
+  for (size_t i = 0; i < n; ++i) {
+    double estimate = est->Estimate(subsets.subset(i));
+    double truth = static_cast<double>(oracle.Cardinality(subsets.subset(i)));
+    q_sum += nn::QError(estimate, truth);
+  }
+  EXPECT_LT(q_sum / static_cast<double>(n), 3.0);
+  EXPECT_GT(est->ModelBytes(), 0u);
+  EXPECT_EQ(est->AuxBytes(), 0u);  // non-hybrid
+}
+
+INSTANTIATE_TEST_SUITE_P(LsmAndClsm, CardinalityE2E, ::testing::Bool());
+
+TEST(CardinalityHybridTest, OutliersAnsweredExactly) {
+  sets::RwConfig rw;
+  rw.num_sets = 300;
+  rw.num_unique = 60;
+  auto c = GenerateRw(rw);
+  CardinalityOptions opts;
+  opts.train.epochs = 10;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 3;
+  opts.hybrid = true;
+  opts.keep_fraction = 0.7;
+  auto est = LearnedCardinalityEstimator::Build(c, opts);
+  ASSERT_TRUE(est.ok());
+  if (est->num_outliers() == 0) GTEST_SKIP() << "model fit everything";
+  // Every outlier must be answered exactly.
+  auto subsets = EnumerateLabeledSubsets(c, {3});
+  baselines::InvertedIndex oracle(c);
+  size_t outliers_seen = 0;
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    if (!est->IsOutlier(subsets.subset(i))) continue;
+    ++outliers_seen;
+    EXPECT_EQ(est->Estimate(subsets.subset(i)),
+              static_cast<double>(oracle.Cardinality(subsets.subset(i))));
+  }
+  EXPECT_EQ(outliers_seen, est->num_outliers());
+}
+
+TEST(CardinalityTest, EmptyCollectionRejected) {
+  sets::SetCollection empty;
+  EXPECT_FALSE(LearnedCardinalityEstimator::Build(empty, {}).ok());
+}
+
+// ---------- End-to-end: learned set index ----------
+
+TEST(LearnedIndexTest, TrainedSubsetsAlwaysFound) {
+  sets::RwConfig rw;
+  rw.num_sets = 400;
+  rw.num_unique = 90;
+  rw.seed = 3;
+  auto c = GenerateRw(rw);
+
+  IndexOptions opts;
+  opts.model.embed_dim = 8;
+  opts.model.phi_hidden = {32};
+  opts.model.rho_hidden = {32};
+  opts.train.epochs = 15;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  opts.hybrid = true;
+  opts.keep_fraction = 0.8;
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  // The core guarantee: every trained subset's first position is found.
+  auto subsets = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    int64_t pos = index->Lookup(subsets.subset(i));
+    EXPECT_EQ(pos, static_cast<int64_t>(subsets.first_position(i)))
+        << "subset " << i;
+  }
+}
+
+TEST(LearnedIndexTest, LocalScanNarrowerThanGlobal) {
+  sets::RwConfig rw;
+  rw.num_sets = 500;
+  rw.num_unique = 100;
+  auto c = GenerateRw(rw);
+  IndexOptions opts;
+  opts.train.epochs = 10;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  opts.error_range_length = 50.0;
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok());
+  EXPECT_LE(index->error_bounds().AverageError(),
+            index->error_bounds().GlobalMaxError());
+}
+
+TEST(LearnedIndexTest, MissingQueryReturnsMinusOne) {
+  sets::SetCollection c;
+  c.Add({1, 2});
+  c.Add({3, 4});
+  IndexOptions opts;
+  opts.train.epochs = 30;
+  opts.train.loss = LossKind::kMse;
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok());
+  std::vector<sets::ElementId> q{1, 4};  // never co-occurs
+  EXPECT_EQ(index->Lookup({q.data(), 2}), -1);
+}
+
+TEST(LearnedIndexTest, MemoryBreakdownPopulated) {
+  sets::RwConfig rw;
+  rw.num_sets = 200;
+  rw.num_unique = 50;
+  auto c = GenerateRw(rw);
+  IndexOptions opts;
+  opts.train.epochs = 5;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->ModelBytes(), 0u);
+  EXPECT_GT(index->ErrBytes(), 0u);
+  EXPECT_EQ(index->TotalBytes(),
+            index->ModelBytes() + index->AuxBytes() + index->ErrBytes());
+}
+
+TEST(LearnedIndexTest, AbsorbsUpdatesIntoAuxStructure) {
+  // §7.2: update a set; subsets outside the error bounds get routed to the
+  // auxiliary structure and lookups stay correct without retraining.
+  sets::RwConfig rw;
+  rw.num_sets = 300;
+  rw.num_unique = 70;
+  rw.seed = 8;
+  auto c = GenerateRw(rw);
+  IndexOptions opts;
+  opts.train.epochs = 10;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok());
+
+  // Replace set 42 with brand-new elements never seen by the model.
+  std::vector<sets::ElementId> fresh{200, 201, 202};
+  ASSERT_TRUE(c.UpdateSet(42, fresh).ok());
+  size_t routed = index->AbsorbUpdatedSet(42, /*max_subset_size=*/2);
+  EXPECT_GT(routed, 0u);
+  EXPECT_EQ(index->updates_absorbed(), routed);
+
+  // All subsets of the new content must now be found at position 42 (no
+  // earlier set contains ids >= 200).
+  sets::SetCollection probe;  // enumerate subsets of the fresh set
+  probe.Add(fresh);
+  auto subs = EnumerateLabeledSubsets(probe, {2});
+  for (size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(index->Lookup(subs.subset(i)), 42);
+  }
+}
+
+// ---------- Persistence of the learned structures ----------
+
+TEST(PersistenceTest, CardinalityEstimatorRoundTrip) {
+  sets::RwConfig rw;
+  rw.num_sets = 150;
+  rw.num_unique = 40;
+  auto c = GenerateRw(rw);
+  CardinalityOptions opts;
+  opts.train.epochs = 5;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  opts.hybrid = true;
+  opts.keep_fraction = 0.8;
+  auto est = LearnedCardinalityEstimator::Build(c, opts);
+  ASSERT_TRUE(est.ok());
+
+  BinaryWriter w;
+  est->Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = LearnedCardinalityEstimator::Load(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  auto subsets = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < std::min<size_t>(subsets.size(), 100); ++i) {
+    EXPECT_DOUBLE_EQ(est->Estimate(subsets.subset(i)),
+                     loaded->Estimate(subsets.subset(i)));
+  }
+  EXPECT_EQ(est->num_outliers(), loaded->num_outliers());
+}
+
+TEST(PersistenceTest, CompressedEstimatorRoundTrip) {
+  sets::RwConfig rw;
+  rw.num_sets = 100;
+  rw.num_unique = 30;
+  auto c = GenerateRw(rw);
+  CardinalityOptions opts;
+  opts.model.compressed = true;
+  opts.train.epochs = 5;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  auto est = LearnedCardinalityEstimator::Build(c, opts);
+  ASSERT_TRUE(est.ok());
+  BinaryWriter w;
+  est->Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = LearnedCardinalityEstimator::Load(&r);
+  ASSERT_TRUE(loaded.ok());
+  auto subsets = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < std::min<size_t>(subsets.size(), 50); ++i) {
+    EXPECT_DOUBLE_EQ(est->Estimate(subsets.subset(i)),
+                     loaded->Estimate(subsets.subset(i)));
+  }
+}
+
+TEST(PersistenceTest, IndexRoundTripPreservesLookups) {
+  sets::RwConfig rw;
+  rw.num_sets = 200;
+  rw.num_unique = 50;
+  auto c = GenerateRw(rw);
+  IndexOptions opts;
+  opts.train.epochs = 6;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok());
+
+  BinaryWriter w;
+  index->Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = LearnedSetIndex::Load(&r, c);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  auto subsets = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    EXPECT_EQ(index->Lookup(subsets.subset(i)),
+              loaded->Lookup(subsets.subset(i)));
+  }
+  EXPECT_EQ(index->num_outliers(), loaded->num_outliers());
+  EXPECT_DOUBLE_EQ(index->error_bounds().GlobalMaxError(),
+                   loaded->error_bounds().GlobalMaxError());
+}
+
+TEST(PersistenceTest, BloomFilterRoundTrip) {
+  sets::RwConfig rw;
+  rw.num_sets = 150;
+  rw.num_unique = 40;
+  auto c = GenerateRw(rw);
+  BloomOptions opts;
+  opts.train.epochs = 8;
+  opts.max_subset_size = 2;
+  auto lbf = LearnedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(lbf.ok());
+  BinaryWriter w;
+  lbf->Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = LearnedBloomFilter::Load(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto positives = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < positives.size(); ++i) {
+    EXPECT_EQ(lbf->MayContain(positives.subset(i)),
+              loaded->MayContain(positives.subset(i)));
+  }
+  EXPECT_EQ(lbf->num_false_negatives(), loaded->num_false_negatives());
+}
+
+TEST(PersistenceTest, GarbageBytesRejected) {
+  BinaryWriter w;
+  w.WriteString("NotAModel");
+  BinaryReader r(w.bytes());
+  EXPECT_FALSE(LearnedCardinalityEstimator::Load(&r).ok());
+}
+
+// ---------- End-to-end: learned Bloom filter ----------
+
+class BloomE2E : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BloomE2E, NoFalseNegativesOnTrainedPositives) {
+  const bool compressed = GetParam();
+  sets::RwConfig rw;
+  rw.num_sets = 300;
+  rw.num_unique = 80;
+  auto c = GenerateRw(rw);
+  BloomOptions opts;
+  opts.model.compressed = compressed;
+  opts.train.epochs = 15;
+  opts.max_subset_size = 2;
+  auto lbf = LearnedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(lbf.ok()) << lbf.status().ToString();
+
+  auto positives = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < positives.size(); ++i) {
+    EXPECT_TRUE(lbf->MayContain(positives.subset(i)))
+        << "false negative at subset " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LsmAndClsm, BloomE2E, ::testing::Bool());
+
+TEST(BloomE2ETest, HighBinaryAccuracy) {
+  sets::RwConfig rw;
+  rw.num_sets = 300;
+  rw.num_unique = 80;
+  auto c = GenerateRw(rw);
+  BloomOptions opts;
+  opts.train.epochs = 25;
+  opts.max_subset_size = 2;
+  auto lbf = LearnedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(lbf.ok());
+  baselines::InvertedIndex oracle(c);
+  Rng rng(17);
+  auto contains = [&](sets::SetView q) { return oracle.Contains(q); };
+  auto negs = sets::SampleNegativeQueries(c.universe_size(), 2, 300,
+                                          contains, &rng);
+  auto positives = EnumerateLabeledSubsets(c, {2});
+  size_t correct = 0, total = 0;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    correct += lbf->MayContain(positives.subset(i)) ? 1 : 0;
+    ++total;
+  }
+  size_t neg_correct = 0;
+  for (const auto& q : negs) {
+    neg_correct += lbf->MayContain(q.view()) ? 0 : 1;
+    ++total;
+  }
+  correct += neg_correct;
+  double acc = static_cast<double>(correct) / static_cast<double>(total);
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(CardinalityBatchTest, BatchMatchesSingleQueryPath) {
+  sets::RwConfig rw;
+  rw.num_sets = 200;
+  rw.num_unique = 50;
+  auto c = GenerateRw(rw);
+  CardinalityOptions opts;
+  opts.train.epochs = 6;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 2;
+  opts.hybrid = true;
+  opts.keep_fraction = 0.8;
+  auto est = LearnedCardinalityEstimator::Build(c, opts);
+  ASSERT_TRUE(est.ok());
+
+  auto subsets = EnumerateLabeledSubsets(c, {2});
+  Rng rng(3);
+  auto queries = SampleQueries(subsets, sets::QueryLabel::kCardinality, 200,
+                               &rng);
+  // Add an OOV query.
+  sets::Query oov;
+  oov.elements = {9999};
+  queries.push_back(oov);
+
+  auto batch = est->EstimateBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(batch[i], est->Estimate(queries[i].view()), 1e-9)
+        << "query " << i;
+  }
+  EXPECT_EQ(batch.back(), 0.0);
+}
+
+// ---------- Sandwiched learned Bloom filter ----------
+
+TEST(SandwichedBloomTest, NoFalseNegativesAndFewerFalsePositives) {
+  sets::RwConfig rw;
+  rw.num_sets = 250;
+  rw.num_unique = 60;
+  auto c = GenerateRw(rw);
+  SandwichedBloomOptions opts;
+  opts.learned.train.epochs = 15;
+  opts.learned.max_subset_size = 2;
+  auto sbf = SandwichedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(sbf.ok()) << sbf.status().ToString();
+
+  auto positives = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < positives.size(); ++i) {
+    EXPECT_TRUE(sbf->MayContain(positives.subset(i)))
+        << "false negative at " << i;
+  }
+  // The pre-filter must reject most random negatives outright.
+  baselines::InvertedIndex oracle(c);
+  Rng rng(5);
+  auto contains = [&](sets::SetView q) { return oracle.Contains(q); };
+  auto negs = sets::SampleNegativeQueries(c.universe_size(), 2, 500,
+                                          contains, &rng);
+  size_t rejected = 0;
+  for (const auto& q : negs) {
+    if (!sbf->MayContain(q.view())) ++rejected;
+  }
+  EXPECT_GT(rejected, negs.size() / 2);
+  EXPECT_GT(sbf->PreFilterBytes(), 0u);
+  EXPECT_EQ(sbf->TotalBytes(),
+            sbf->PreFilterBytes() + sbf->LearnedBytes());
+}
+
+TEST(SandwichedBloomTest, EmptyCollectionRejected) {
+  sets::SetCollection empty;
+  EXPECT_FALSE(SandwichedBloomFilter::Build(empty, {}).ok());
+}
+
+TEST(MultiMembershipTest, BatchMatchesSingleAndAggregates) {
+  sets::RwConfig rw;
+  rw.num_sets = 200;
+  rw.num_unique = 50;
+  auto c = GenerateRw(rw);
+  BloomOptions opts;
+  opts.train.epochs = 10;
+  opts.max_subset_size = 2;
+  auto lbf = LearnedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(lbf.ok());
+
+  auto positives = EnumerateLabeledSubsets(c, {2});
+  Rng rng(3);
+  std::vector<sets::Query> queries =
+      SamplePositiveQueries(positives, 50, &rng);
+  sets::Query oov;
+  oov.elements = {40000};
+  queries.push_back(oov);
+
+  auto multi = lbf->MayContainMulti(queries);
+  ASSERT_EQ(multi.verdicts.size(), queries.size());
+  bool expect_any = false, expect_all = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    bool single = lbf->MayContain(queries[i].view());
+    EXPECT_EQ(multi.verdicts[i], single) << "query " << i;
+    expect_any |= single;
+    expect_all &= single;
+  }
+  EXPECT_EQ(multi.any, expect_any);
+  EXPECT_EQ(multi.all, expect_all);
+  EXPECT_FALSE(multi.verdicts.back());  // the OOV query
+}
+
+TEST(MultiMembershipTest, EmptyBatch) {
+  sets::SetCollection c;
+  c.Add({1, 2});
+  BloomOptions opts;
+  opts.train.epochs = 2;
+  auto lbf = LearnedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(lbf.ok());
+  auto multi = lbf->MayContainMulti({});
+  EXPECT_TRUE(multi.verdicts.empty());
+  EXPECT_TRUE(multi.all);
+  EXPECT_FALSE(multi.any);
+}
+
+// ---------- Partitioned learned Bloom filter ----------
+
+TEST(PartitionedBloomTest, NoFalseNegatives) {
+  sets::RwConfig rw;
+  rw.num_sets = 250;
+  rw.num_unique = 60;
+  auto c = GenerateRw(rw);
+  PartitionedBloomOptions opts;
+  opts.learned.train.epochs = 15;
+  opts.learned.max_subset_size = 2;
+  opts.num_regions = 4;
+  auto pbf = PartitionedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(pbf.ok()) << pbf.status().ToString();
+  EXPECT_EQ(pbf->num_regions(), 4);
+
+  auto positives = EnumerateLabeledSubsets(c, {2});
+  for (size_t i = 0; i < positives.size(); ++i) {
+    EXPECT_TRUE(pbf->MayContain(positives.subset(i)))
+        << "false negative at " << i;
+  }
+  EXPECT_GT(pbf->BackupBytes(), 0u);
+}
+
+TEST(PartitionedBloomTest, RejectsMostNegatives) {
+  sets::RwConfig rw;
+  rw.num_sets = 250;
+  rw.num_unique = 60;
+  rw.seed = 4;
+  auto c = GenerateRw(rw);
+  PartitionedBloomOptions opts;
+  opts.learned.train.epochs = 20;
+  opts.learned.max_subset_size = 2;
+  auto pbf = PartitionedBloomFilter::Build(c, opts);
+  ASSERT_TRUE(pbf.ok());
+  baselines::InvertedIndex oracle(c);
+  Rng rng(9);
+  auto contains = [&](sets::SetView q) { return oracle.Contains(q); };
+  auto negs = sets::SampleNegativeQueries(c.universe_size(), 2, 400,
+                                          contains, &rng);
+  size_t rejected = 0;
+  for (const auto& q : negs) {
+    if (!pbf->MayContain(q.view())) ++rejected;
+  }
+  EXPECT_GT(rejected, negs.size() / 3);
+}
+
+TEST(PartitionedBloomTest, BadConfigRejected) {
+  sets::SetCollection c;
+  c.Add({1, 2});
+  PartitionedBloomOptions opts;
+  opts.num_regions = 1;
+  EXPECT_FALSE(PartitionedBloomFilter::Build(c, opts).ok());
+  sets::SetCollection empty;
+  EXPECT_FALSE(PartitionedBloomFilter::Build(empty, {}).ok());
+}
+
+// ---------- UpdatableIndex (§7.2 lifecycle) ----------
+
+TEST(UpdatableIndexTest, UpdatesStayQueryableAndTriggerRebuild) {
+  sets::RwConfig rw;
+  rw.num_sets = 200;
+  rw.num_unique = 50;
+  auto c = GenerateRw(rw);
+  UpdatableIndexOptions opts;
+  opts.index.train.epochs = 8;
+  opts.index.train.loss = LossKind::kMse;
+  opts.index.max_subset_size = 2;
+  opts.rebuild_after_absorbed = 3;
+  auto index = UpdatableIndex::Build(std::move(c), opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_FALSE(index->NeedsRebuild());
+
+  // Apply updates with brand-new elements.
+  ASSERT_TRUE(index->Update(10, {101, 102}).ok());
+  ASSERT_TRUE(index->Update(20, {103, 104, 105}).ok());
+  EXPECT_EQ(index->updates_applied(), 2u);
+
+  std::vector<sets::ElementId> q{101, 102};
+  EXPECT_EQ(index->Lookup({q.data(), q.size()}), 10);
+  std::vector<sets::ElementId> q2{104, 105};
+  EXPECT_EQ(index->Lookup({q2.data(), q2.size()}), 20);
+
+  // Enough routed subsets -> rebuild recommended; rebuild restores a clean
+  // model over the updated collection.
+  EXPECT_TRUE(index->NeedsRebuild());
+  ASSERT_TRUE(index->Rebuild().ok());
+  EXPECT_EQ(index->Lookup({q.data(), q.size()}), 10);
+  EXPECT_FALSE(index->NeedsRebuild());
+}
+
+TEST(UpdatableIndexTest, UpdateOutOfRangeFails) {
+  sets::SetCollection c;
+  c.Add({1, 2});
+  UpdatableIndexOptions opts;
+  opts.index.train.epochs = 2;
+  opts.index.train.loss = LossKind::kMse;
+  auto index = UpdatableIndex::Build(std::move(c), opts);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Update(99, {5}).ok());
+}
+
+// ---------- Equality-search mode ----------
+
+TEST(LearnedIndexTest, LookupEqualFindsExactSets) {
+  sets::SetCollection c;
+  c.Add({1, 2, 3});
+  c.Add({1, 2});
+  c.Add({2, 3});
+  IndexOptions opts;
+  opts.train.epochs = 60;
+  opts.train.learning_rate = 0.01f;
+  opts.train.loss = LossKind::kMse;
+  opts.max_subset_size = 3;
+  opts.fallback_full_scan = true;  // hard guarantee for the tiny example
+  auto index = LearnedSetIndex::Build(c, opts);
+  ASSERT_TRUE(index.ok());
+
+  // {1,2} as a subset first matches position 0, but as an exact set it is
+  // position 1 — the distinction §4.1 draws.
+  std::vector<sets::ElementId> q{1, 2};
+  EXPECT_EQ(index->Lookup({q.data(), 2}), 0);
+  EXPECT_EQ(index->LookupEqual({q.data(), 2}), 1);
+  std::vector<sets::ElementId> missing{1, 3};
+  EXPECT_EQ(index->LookupEqual({missing.data(), 2}), -1);
+}
+
+}  // namespace
+}  // namespace los::core

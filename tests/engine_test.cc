@@ -1,0 +1,102 @@
+// Tests for the mini query engine (Table 12 substrate): access-path
+// agreement and build-time/memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/count_query.h"
+#include "nn/losses.h"
+#include "engine/table.h"
+#include "sets/generators.h"
+
+namespace los::engine {
+namespace {
+
+Table MakeTable() {
+  sets::RwConfig rw;
+  rw.num_sets = 400;
+  rw.num_unique = 80;
+  rw.seed = 21;
+  return Table::FromCollection("server_logs", sets::GenerateRw(rw));
+}
+
+TEST(TableTest, InsertAndInspect) {
+  Table t("events");
+  EXPECT_EQ(t.Insert({3, 1, 3}), 0u);
+  EXPECT_EQ(t.Insert({5}), 1u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.set_column().set(0).size(), 2u);  // deduped
+  EXPECT_GT(t.MemoryBytes(), 0u);
+}
+
+TEST(CountQueryTest, SeqScanAndIndexAgree) {
+  Table t = MakeTable();
+  CountQueryExecutor exec(t);
+  exec.BuildIndex();
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<sets::ElementId> q;
+    size_t n = 1 + rng.Uniform(3);
+    for (size_t j = 0; j < n; ++j) {
+      q.push_back(static_cast<sets::ElementId>(rng.Uniform(80)));
+    }
+    sets::Canonicalize(&q);
+    auto scan = exec.Count({q.data(), q.size()}, AccessPath::kSeqScan);
+    auto idx = exec.Count({q.data(), q.size()}, AccessPath::kInvertedIndex);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_TRUE(idx.ok());
+    EXPECT_DOUBLE_EQ(*scan, *idx);
+  }
+}
+
+TEST(CountQueryTest, EstimatorApproximatesTruth) {
+  Table t = MakeTable();
+  CountQueryExecutor exec(t);
+  exec.BuildIndex();
+  core::CardinalityOptions opts;
+  opts.train.epochs = 30;
+  opts.train.loss = core::LossKind::kMse;
+  opts.max_subset_size = 2;
+  opts.model.compressed = true;
+  ASSERT_TRUE(exec.BuildEstimator(opts).ok());
+
+  auto subsets = EnumerateLabeledSubsets(t.set_column(), {2});
+  double q_sum = 0;
+  size_t n = std::min<size_t>(subsets.size(), 300);
+  for (size_t i = 0; i < n; ++i) {
+    auto est = exec.Count(subsets.subset(i), AccessPath::kLearnedEstimate);
+    ASSERT_TRUE(est.ok());
+    q_sum += nn::QError(*est, subsets.cardinality(i));
+  }
+  EXPECT_LT(q_sum / static_cast<double>(n), 3.5);
+}
+
+TEST(CountQueryTest, UnbuiltPathsError) {
+  Table t("empty_paths");
+  t.Insert({1});
+  CountQueryExecutor exec(t);
+  std::vector<sets::ElementId> q{1};
+  EXPECT_TRUE(exec.Count({q.data(), 1}, AccessPath::kSeqScan).ok());
+  EXPECT_FALSE(exec.Count({q.data(), 1}, AccessPath::kInvertedIndex).ok());
+  EXPECT_FALSE(exec.Count({q.data(), 1}, AccessPath::kLearnedEstimate).ok());
+}
+
+TEST(CountQueryTest, BuildTimesAndMemoryTracked) {
+  Table t = MakeTable();
+  CountQueryExecutor exec(t);
+  exec.BuildIndex();
+  EXPECT_GE(exec.index_build_seconds(), 0.0);
+  EXPECT_GT(exec.IndexBytes(), 0u);
+  EXPECT_EQ(exec.EstimatorBytes(), 0u);
+}
+
+TEST(AccessPathTest, Names) {
+  EXPECT_STREQ(AccessPathName(AccessPath::kSeqScan), "seq-scan");
+  EXPECT_STREQ(AccessPathName(AccessPath::kInvertedIndex), "inverted-index");
+  EXPECT_STREQ(AccessPathName(AccessPath::kLearnedEstimate),
+               "learned-estimate");
+}
+
+}  // namespace
+}  // namespace los::engine

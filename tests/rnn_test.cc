@@ -1,0 +1,120 @@
+// Behavioural tests for the LSTM/GRU sequence baselines: order sensitivity
+// (the property DeepSets removes), convergence on a tiny task, and shape
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace los::nn {
+namespace {
+
+class RnnBehaviour : public ::testing::TestWithParam<RnnKind> {};
+
+TEST_P(RnnBehaviour, OutputDependsOnElementOrder) {
+  // The paper's motivation for DeepSets: sequence models are NOT permutation
+  // invariant. An untrained RNN must produce different outputs for
+  // different orderings of the same multiset.
+  Rng rng(3);
+  SequenceRegressor model(GetParam(), /*vocab=*/20, /*embed_dim=*/4,
+                          /*hidden_dim=*/8, &rng);
+  std::vector<uint32_t> forward{1, 7, 13, 2};
+  std::vector<uint32_t> reversed{2, 13, 7, 1};
+  Tensor a, b;
+  model.Forward(forward, 1, 4, &a);
+  model.Forward(reversed, 1, 4, &b);
+  EXPECT_NE(a(0, 0), b(0, 0));
+}
+
+TEST_P(RnnBehaviour, LearnsTinySumTask) {
+  // Sequences of 3 values in [1, 5]; target = sum. A few hundred steps of
+  // Adam should reach small MAE on the training set.
+  Rng rng(5);
+  SequenceRegressor model(GetParam(), /*vocab=*/6, /*embed_dim=*/4,
+                          /*hidden_dim=*/16, &rng);
+  std::vector<Parameter*> params;
+  model.CollectParameters(&params);
+  Adam opt(5e-3f);
+
+  const int64_t batch = 32, len = 3;
+  std::vector<uint32_t> ids(static_cast<size_t>(batch * len));
+  Tensor targets(batch, 1), out, dpred;
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    for (int64_t i = 0; i < batch; ++i) {
+      double sum = 0;
+      for (int64_t t = 0; t < len; ++t) {
+        uint32_t v = static_cast<uint32_t>(rng.UniformRange(1, 5));
+        ids[static_cast<size_t>(i * len + t)] = v;
+        sum += v;
+      }
+      targets(i, 0) = static_cast<float>(sum);
+    }
+    model.Forward(ids, batch, len, &out);
+    final_loss = MaeLoss(out, targets, &dpred);
+    model.ForwardBackward(ids, batch, len, &out, dpred);
+    opt.Step(params);
+  }
+  EXPECT_LT(final_loss, 1.0) << "MAE after training";
+}
+
+TEST_P(RnnBehaviour, HandlesLengthOneSequences) {
+  Rng rng(7);
+  SequenceRegressor model(GetParam(), 10, 4, 8, &rng);
+  std::vector<uint32_t> ids{3, 5};
+  Tensor out;
+  model.Forward(ids, /*batch=*/2, /*len=*/1, &out);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_TRUE(std::isfinite(out(0, 0)));
+  EXPECT_TRUE(std::isfinite(out(1, 0)));
+}
+
+TEST_P(RnnBehaviour, ByteSizePositiveAndScalesWithHidden) {
+  Rng rng(9);
+  SequenceRegressor small(GetParam(), 10, 4, 8, &rng);
+  SequenceRegressor big(GetParam(), 10, 4, 64, &rng);
+  EXPECT_GT(small.ByteSize(), 0u);
+  EXPECT_GT(big.ByteSize(), small.ByteSize() * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, RnnBehaviour,
+                         ::testing::Values(RnnKind::kLstm, RnnKind::kGru));
+
+TEST(LstmCellTest, ForgetBiasInitializedToOne) {
+  Rng rng(1);
+  LstmCell cell(4, 8, &rng);
+  // The forget-gate block of the bias (columns [H, 2H)) starts at 1.
+  // Verified indirectly: a fresh cell mostly carries cell state through.
+  LstmCell::StepCache cache;
+  cache.h_prev = Tensor::Zeros(1, 8);
+  cache.c_prev = Tensor::Full(1, 8, 1.0f);
+  Tensor x = Tensor::Zeros(1, 4);
+  cell.Forward(x, &cache);
+  // With x = h_prev = 0, f = sigmoid(1) ~ 0.73, i = sigmoid(0) = 0.5,
+  // g = tanh(0) = 0 -> c = 0.73 * 1.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(cache.c(0, j), 0.731f, 0.01f);
+  }
+}
+
+TEST(GruCellTest, ZeroInputZeroStateKeepsZeroState) {
+  Rng rng(2);
+  GruCell cell(4, 8, &rng);
+  GruCell::StepCache cache;
+  cache.h_prev = Tensor::Zeros(1, 8);
+  Tensor x = Tensor::Zeros(1, 4);
+  cell.Forward(x, &cache);
+  // h = (1-z)*0 + z*tanh(0 + r*0) = 0 with zero biases.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(cache.h(0, j), 0.0f, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace los::nn

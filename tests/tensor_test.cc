@@ -1,0 +1,367 @@
+// Unit tests for the nn substrate: Tensor, GEMM, activations, losses,
+// optimizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/mlp.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace los::nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  t(1, 2) = 5.0f;
+  EXPECT_EQ(t(1, 2), 5.0f);
+  EXPECT_EQ(t(0, 0), 0.0f);
+}
+
+TEST(TensorTest, FromValuesRowMajor) {
+  Tensor t = Tensor::FromValues(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t(0, 0), 1);
+  EXPECT_EQ(t(0, 1), 2);
+  EXPECT_EQ(t(1, 0), 3);
+  EXPECT_EQ(t(1, 1), 4);
+}
+
+TEST(TensorTest, FillScaleAddAxpy) {
+  Tensor a = Tensor::Full(2, 2, 2.0f);
+  Tensor b = Tensor::Full(2, 2, 3.0f);
+  a.Scale(2.0f);       // 4
+  a.Add(b);            // 7
+  a.Axpy(-2.0f, b);    // 1
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a.data()[i], 1.0f);
+}
+
+TEST(TensorTest, SumMeanAbsMax) {
+  Tensor t = Tensor::FromValues(1, 4, {1, -5, 2, 2});
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+  EXPECT_FLOAT_EQ(t.AbsMax(), 5.0f);
+}
+
+TEST(TensorTest, ReshapeKeepsData) {
+  Tensor t = Tensor::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  t.Reshape(3, 2);
+  EXPECT_EQ(t(2, 1), 6);
+  EXPECT_EQ(t(1, 0), 3);
+}
+
+TEST(TensorTest, SaveLoadRoundTrip) {
+  Tensor t = Tensor::FromValues(2, 2, {1.5f, -2.5f, 0.0f, 9.0f});
+  BinaryWriter w;
+  t.Save(&w);
+  BinaryReader r(w.bytes());
+  auto back = Tensor::Load(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->SameShape(t));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back->data()[i], t.data()[i]);
+  }
+}
+
+// Reference GEMM for validation.
+Tensor NaiveGemm(const Tensor& a, bool ta, const Tensor& b, bool tb) {
+  int64_t m = ta ? a.cols() : a.rows();
+  int64_t k = ta ? a.rows() : a.cols();
+  int64_t n = tb ? b.rows() : b.cols();
+  Tensor c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float s = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = ta ? a(kk, i) : a(i, kk);
+        float bv = tb ? b(j, kk) : b(kk, j);
+        s += av * bv;
+      }
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+class GemmTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  auto [ta, tb] = GetParam();
+  Rng rng(42);
+  int64_t m = 5, k = 7, n = 3;
+  Tensor a = ta ? Tensor(k, m) : Tensor(m, k);
+  Tensor b = tb ? Tensor(n, k) : Tensor(k, n);
+  GaussianInit(&a, 1.0f, &rng);
+  GaussianInit(&b, 1.0f, &rng);
+  Tensor c(m, n);
+  Gemm(a, ta, b, tb, 1.0f, 0.0f, &c);
+  Tensor ref = NaiveGemm(a, ta, b, tb);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(GemmTest, AlphaBetaAccumulate) {
+  Tensor a = Tensor::FromValues(1, 2, {1, 2});
+  Tensor b = Tensor::FromValues(2, 1, {3, 4});
+  Tensor c = Tensor::Full(1, 1, 10.0f);
+  Gemm(a, false, b, false, 2.0f, 1.0f, &c);  // 2*(1*3+2*4) + 10 = 32
+  EXPECT_FLOAT_EQ(c(0, 0), 32.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor x = Tensor::Zeros(2, 3);
+  Tensor b = Tensor::FromValues(1, 3, {1, 2, 3});
+  AddRowBroadcast(b, &x);
+  EXPECT_FLOAT_EQ(x(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(x(1, 2), 3.0f);
+}
+
+TEST(OpsTest, SumRowsAccumulate) {
+  Tensor x = Tensor::FromValues(2, 2, {1, 2, 3, 4});
+  Tensor out = Tensor::Full(1, 2, 1.0f);
+  SumRowsAccumulate(x, &out);
+  EXPECT_FLOAT_EQ(out(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 7.0f);
+}
+
+TEST(OpsTest, SigmoidValues) {
+  Tensor x = Tensor::FromValues(1, 3, {0.0f, 100.0f, -100.0f});
+  SigmoidInPlace(&x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.5f);
+  EXPECT_NEAR(x(0, 1), 1.0f, 1e-6);
+  EXPECT_NEAR(x(0, 2), 0.0f, 1e-6);
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  Tensor x = Tensor::FromValues(1, 3, {-1.0f, 0.0f, 2.0f});
+  ReluInPlace(&x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x(0, 2), 2.0f);
+}
+
+TEST(OpsTest, HadamardProducts) {
+  Tensor a = Tensor::FromValues(1, 2, {2, 3});
+  Tensor b = Tensor::FromValues(1, 2, {4, 5});
+  Tensor out(1, 2);
+  Hadamard(a, b, &out);
+  EXPECT_FLOAT_EQ(out(0, 0), 8.0f);
+  HadamardAccumulate(a, b, &out);
+  EXPECT_FLOAT_EQ(out(0, 1), 30.0f);
+}
+
+TEST(LossTest, MseValueAndGrad) {
+  Tensor pred = Tensor::FromValues(2, 1, {1.0f, 3.0f});
+  Tensor target = Tensor::FromValues(2, 1, {0.0f, 1.0f});
+  Tensor d;
+  double loss = MseLoss(pred, target, &d);
+  EXPECT_DOUBLE_EQ(loss, (1.0 + 4.0) / 2.0);
+  EXPECT_FLOAT_EQ(d(0, 0), 2.0f * 1.0f / 2.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 2.0f * 2.0f / 2.0f);
+}
+
+TEST(LossTest, MaeValueAndGradSign) {
+  Tensor pred = Tensor::FromValues(2, 1, {1.0f, -3.0f});
+  Tensor target = Tensor::FromValues(2, 1, {0.0f, 0.0f});
+  Tensor d;
+  double loss = MaeLoss(pred, target, &d);
+  EXPECT_DOUBLE_EQ(loss, 2.0);
+  EXPECT_GT(d(0, 0), 0.0f);
+  EXPECT_LT(d(1, 0), 0.0f);
+}
+
+TEST(LossTest, BcePerfectPredictionsNearZero) {
+  Tensor pred = Tensor::FromValues(2, 1, {0.9999f, 0.0001f});
+  Tensor target = Tensor::FromValues(2, 1, {1.0f, 0.0f});
+  Tensor d;
+  EXPECT_LT(BinaryCrossEntropyLoss(pred, target, &d), 0.01);
+}
+
+TEST(LossTest, BceGradDirection) {
+  Tensor pred = Tensor::FromValues(2, 1, {0.3f, 0.7f});
+  Tensor target = Tensor::FromValues(2, 1, {1.0f, 0.0f});
+  Tensor d;
+  BinaryCrossEntropyLoss(pred, target, &d);
+  EXPECT_LT(d(0, 0), 0.0f);  // push prediction up toward 1
+  EXPECT_GT(d(1, 0), 0.0f);  // push prediction down toward 0
+}
+
+TEST(LossTest, QErrorMinimumAtTarget) {
+  Tensor target = Tensor::FromValues(1, 1, {0.5f});
+  Tensor exact = Tensor::FromValues(1, 1, {0.5f});
+  Tensor off = Tensor::FromValues(1, 1, {0.8f});
+  Tensor d;
+  double at_min = QErrorLoss(exact, target, 5.0, &d);
+  EXPECT_NEAR(at_min, 1.0, 1e-6);
+  EXPECT_NEAR(d(0, 0), 0.0f, 1e-6);
+  EXPECT_GT(QErrorLoss(off, target, 5.0, &d), at_min);
+  EXPECT_GT(d(0, 0), 0.0f);
+}
+
+TEST(LossTest, QErrorExactFunction) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(5.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(3.0, 3.0), 1.0);
+  // Floor prevents division blow-up.
+  EXPECT_DOUBLE_EQ(QError(0.0, 4.0, 1.0), 4.0);
+}
+
+TEST(LossTest, BinaryAccuracy) {
+  Tensor pred = Tensor::FromValues(4, 1, {0.9f, 0.2f, 0.6f, 0.4f});
+  Tensor target = Tensor::FromValues(4, 1, {1.0f, 0.0f, 0.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(BinaryAccuracy(pred, target), 0.5);
+}
+
+TEST(InitTest, GlorotRange) {
+  Rng rng(1);
+  Tensor t(64, 64);
+  GlorotUniform(&t, 64, 64, &rng);
+  float limit = std::sqrt(6.0f / 128.0f);
+  EXPECT_LE(t.AbsMax(), limit + 1e-6f);
+  EXPECT_GT(t.AbsMax(), limit * 0.5f);  // actually spreads out
+}
+
+TEST(DenseTest, ForwardLinear) {
+  Rng rng(1);
+  Dense d(2, 1, Activation::kNone, &rng);
+  d.weight()->value = Tensor::FromValues(2, 1, {2.0f, 3.0f});
+  d.bias()->value = Tensor::FromValues(1, 1, {1.0f});
+  Tensor x = Tensor::FromValues(1, 2, {1.0f, 1.0f});
+  Tensor y;
+  d.Forward(x, &y);
+  EXPECT_FLOAT_EQ(y(0, 0), 6.0f);
+}
+
+TEST(EmbeddingTest, LookupCopiesRows) {
+  Rng rng(2);
+  Embedding e(4, 3, &rng);
+  Tensor out;
+  e.Forward({2, 0, 2}, &out);
+  EXPECT_EQ(out.rows(), 3);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out(0, j), e.table()->value(2, j));
+    EXPECT_EQ(out(1, j), e.table()->value(0, j));
+    EXPECT_EQ(out(2, j), out(0, j));
+  }
+}
+
+TEST(SegmentPoolTest, SumMeanMax) {
+  Tensor x = Tensor::FromValues(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  std::vector<int64_t> offsets{0, 2, 4};
+  Tensor pooled;
+  std::vector<int64_t> argmax;
+
+  SegmentPool sum(Pooling::kSum);
+  sum.Forward(x, offsets, &pooled, nullptr);
+  EXPECT_FLOAT_EQ(pooled(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(pooled(1, 1), 14.0f);
+
+  SegmentPool mean(Pooling::kMean);
+  mean.Forward(x, offsets, &pooled, nullptr);
+  EXPECT_FLOAT_EQ(pooled(0, 0), 2.0f);
+
+  SegmentPool max(Pooling::kMax);
+  max.Forward(x, offsets, &pooled, &argmax);
+  EXPECT_FLOAT_EQ(pooled(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(pooled(1, 1), 8.0f);
+  EXPECT_EQ(argmax[0], 1);  // row 1 wins segment 0, col 0
+}
+
+TEST(SegmentPoolTest, EmptySegmentPoolsToZero) {
+  Tensor x = Tensor::FromValues(2, 1, {3, 4});
+  std::vector<int64_t> offsets{0, 0, 2};
+  Tensor pooled;
+  SegmentPool sum(Pooling::kSum);
+  sum.Forward(x, offsets, &pooled, nullptr);
+  EXPECT_FLOAT_EQ(pooled(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(pooled(1, 0), 7.0f);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by hand-fed gradients.
+  Parameter w(1, 1);
+  w.value(0, 0) = 0.0f;
+  Sgd opt(0.1f);
+  for (int i = 0; i < 200; ++i) {
+    w.grad(0, 0) = 2.0f * (w.value(0, 0) - 3.0f);
+    opt.Step({&w});
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Parameter w(1, 1);
+  w.value(0, 0) = -5.0f;
+  Adam opt(0.1f);
+  for (int i = 0; i < 500; ++i) {
+    w.grad(0, 0) = 2.0f * (w.value(0, 0) - 3.0f);
+    opt.Step({&w});
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0f, 1e-2);
+}
+
+TEST(OptimizerTest, StepZeroesGradients) {
+  Parameter w(1, 1);
+  w.grad(0, 0) = 1.0f;
+  Adam opt(0.01f);
+  opt.Step({&w});
+  EXPECT_EQ(w.grad(0, 0), 0.0f);
+}
+
+TEST(MlpTest, LearnsXor) {
+  Rng rng(7);
+  Mlp mlp({2, 8, 1}, Activation::kTanh, Activation::kSigmoid, &rng);
+  Tensor x = Tensor::FromValues(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y = Tensor::FromValues(4, 1, {0, 1, 1, 0});
+  std::vector<Parameter*> params;
+  mlp.CollectParameters(&params);
+  Adam opt(0.05f);
+  Mlp::Workspace ws;
+  Tensor d;
+  for (int i = 0; i < 800; ++i) {
+    const Tensor& pred = mlp.Forward(x, &ws);
+    BinaryCrossEntropyLoss(pred, y, &d);
+    mlp.Backward(x, &ws, &d, nullptr);
+    opt.Step(params);
+  }
+  const Tensor& pred = mlp.Forward(x, &ws);
+  EXPECT_LT(pred(0, 0), 0.2f);
+  EXPECT_GT(pred(1, 0), 0.8f);
+  EXPECT_GT(pred(2, 0), 0.8f);
+  EXPECT_LT(pred(3, 0), 0.2f);
+}
+
+TEST(MlpTest, SaveLoadPreservesOutputs) {
+  Rng rng(3);
+  Mlp mlp({3, 5, 1}, Activation::kRelu, Activation::kSigmoid, &rng);
+  Tensor x(2, 3);
+  GaussianInit(&x, 1.0f, &rng);
+  Mlp::Workspace ws;
+  Tensor before = mlp.Forward(x, &ws);
+
+  BinaryWriter w;
+  mlp.Save(&w);
+  BinaryReader r(w.bytes());
+  Mlp loaded;
+  ASSERT_TRUE(loaded.Load(&r).ok());
+  Tensor after = loaded.Forward(x, &ws);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace los::nn
