@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_set_transformer"
+  "../bench/bench_ablation_set_transformer.pdb"
+  "CMakeFiles/bench_ablation_set_transformer.dir/bench_ablation_set_transformer.cc.o"
+  "CMakeFiles/bench_ablation_set_transformer.dir/bench_ablation_set_transformer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_set_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

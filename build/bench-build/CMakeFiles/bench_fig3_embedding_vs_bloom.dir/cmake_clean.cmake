@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_embedding_vs_bloom"
+  "../bench/bench_fig3_embedding_vs_bloom.pdb"
+  "CMakeFiles/bench_fig3_embedding_vs_bloom.dir/bench_fig3_embedding_vs_bloom.cc.o"
+  "CMakeFiles/bench_fig3_embedding_vs_bloom.dir/bench_fig3_embedding_vs_bloom.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_embedding_vs_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_digit_sum.cc" "bench-build/CMakeFiles/bench_fig7_digit_sum.dir/bench_fig7_digit_sum.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig7_digit_sum.dir/bench_fig7_digit_sum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/los_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_deepsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_sets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

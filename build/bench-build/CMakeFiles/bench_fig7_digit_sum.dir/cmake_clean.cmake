@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_digit_sum"
+  "../bench/bench_fig7_digit_sum.pdb"
+  "CMakeFiles/bench_fig7_digit_sum.dir/bench_fig7_digit_sum.cc.o"
+  "CMakeFiles/bench_fig7_digit_sum.dir/bench_fig7_digit_sum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_digit_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_ns_impact"
+  "../bench/bench_fig8_ns_impact.pdb"
+  "CMakeFiles/bench_fig8_ns_impact.dir/bench_fig8_ns_impact.cc.o"
+  "CMakeFiles/bench_fig8_ns_impact.dir/bench_fig8_ns_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ns_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_local_vs_global_error"
+  "../bench/bench_local_vs_global_error.pdb"
+  "CMakeFiles/bench_local_vs_global_error.dir/bench_local_vs_global_error.cc.o"
+  "CMakeFiles/bench_local_vs_global_error.dir/bench_local_vs_global_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_vs_global_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

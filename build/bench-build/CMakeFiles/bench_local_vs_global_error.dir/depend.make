@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_local_vs_global_error.
+# This may be replaced when dependencies are built.

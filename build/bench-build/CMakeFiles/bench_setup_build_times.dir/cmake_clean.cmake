@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_setup_build_times"
+  "../bench/bench_setup_build_times.pdb"
+  "CMakeFiles/bench_setup_build_times.dir/bench_setup_build_times.cc.o"
+  "CMakeFiles/bench_setup_build_times.dir/bench_setup_build_times.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setup_build_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_svd_sweep"
+  "../bench/bench_table6_svd_sweep.pdb"
+  "CMakeFiles/bench_table6_svd_sweep.dir/bench_table6_svd_sweep.cc.o"
+  "CMakeFiles/bench_table6_svd_sweep.dir/bench_table6_svd_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_svd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

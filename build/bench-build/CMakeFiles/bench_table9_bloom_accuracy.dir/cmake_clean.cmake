@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_bloom_accuracy"
+  "../bench/bench_table9_bloom_accuracy.pdb"
+  "CMakeFiles/bench_table9_bloom_accuracy.dir/bench_table9_bloom_accuracy.cc.o"
+  "CMakeFiles/bench_table9_bloom_accuracy.dir/bench_table9_bloom_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_bloom_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtag_analytics.dir/hashtag_analytics.cpp.o"
+  "CMakeFiles/hashtag_analytics.dir/hashtag_analytics.cpp.o.d"
+  "hashtag_analytics"
+  "hashtag_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtag_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_filter.dir/membership_filter.cpp.o"
+  "CMakeFiles/membership_filter.dir/membership_filter.cpp.o.d"
+  "membership_filter"
+  "membership_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_log_index.dir/server_log_index.cpp.o"
+  "CMakeFiles/server_log_index.dir/server_log_index.cpp.o.d"
+  "server_log_index"
+  "server_log_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_log_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_demo.dir/updates_demo.cpp.o"
+  "CMakeFiles/updates_demo.dir/updates_demo.cpp.o.d"
+  "updates_demo"
+  "updates_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

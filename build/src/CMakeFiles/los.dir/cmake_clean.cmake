@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los.dir/cli/main.cc.o"
+  "CMakeFiles/los.dir/cli/main.cc.o.d"
+  "los"
+  "los.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bloom_filter.cc" "src/CMakeFiles/los_baselines.dir/baselines/bloom_filter.cc.o" "gcc" "src/CMakeFiles/los_baselines.dir/baselines/bloom_filter.cc.o.d"
+  "/root/repo/src/baselines/bplus_tree.cc" "src/CMakeFiles/los_baselines.dir/baselines/bplus_tree.cc.o" "gcc" "src/CMakeFiles/los_baselines.dir/baselines/bplus_tree.cc.o.d"
+  "/root/repo/src/baselines/hash_map_estimator.cc" "src/CMakeFiles/los_baselines.dir/baselines/hash_map_estimator.cc.o" "gcc" "src/CMakeFiles/los_baselines.dir/baselines/hash_map_estimator.cc.o.d"
+  "/root/repo/src/baselines/inverted_index.cc" "src/CMakeFiles/los_baselines.dir/baselines/inverted_index.cc.o" "gcc" "src/CMakeFiles/los_baselines.dir/baselines/inverted_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/los_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_sets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

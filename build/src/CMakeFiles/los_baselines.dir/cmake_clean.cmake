@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_baselines.dir/baselines/bloom_filter.cc.o"
+  "CMakeFiles/los_baselines.dir/baselines/bloom_filter.cc.o.d"
+  "CMakeFiles/los_baselines.dir/baselines/bplus_tree.cc.o"
+  "CMakeFiles/los_baselines.dir/baselines/bplus_tree.cc.o.d"
+  "CMakeFiles/los_baselines.dir/baselines/hash_map_estimator.cc.o"
+  "CMakeFiles/los_baselines.dir/baselines/hash_map_estimator.cc.o.d"
+  "CMakeFiles/los_baselines.dir/baselines/inverted_index.cc.o"
+  "CMakeFiles/los_baselines.dir/baselines/inverted_index.cc.o.d"
+  "liblos_baselines.a"
+  "liblos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

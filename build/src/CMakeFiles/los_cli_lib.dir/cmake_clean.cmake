@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_cli_lib.dir/cli/cli.cc.o"
+  "CMakeFiles/los_cli_lib.dir/cli/cli.cc.o.d"
+  "liblos_cli_lib.a"
+  "liblos_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_common.dir/common/random.cc.o"
+  "CMakeFiles/los_common.dir/common/random.cc.o.d"
+  "CMakeFiles/los_common.dir/common/serialize.cc.o"
+  "CMakeFiles/los_common.dir/common/serialize.cc.o.d"
+  "CMakeFiles/los_common.dir/common/status.cc.o"
+  "CMakeFiles/los_common.dir/common/status.cc.o.d"
+  "CMakeFiles/los_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/los_common.dir/common/thread_pool.cc.o.d"
+  "liblos_common.a"
+  "liblos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

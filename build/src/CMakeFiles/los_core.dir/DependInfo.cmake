@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/los_core.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/learned_bloom.cc" "src/CMakeFiles/los_core.dir/core/learned_bloom.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/learned_bloom.cc.o.d"
+  "/root/repo/src/core/learned_cardinality.cc" "src/CMakeFiles/los_core.dir/core/learned_cardinality.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/learned_cardinality.cc.o.d"
+  "/root/repo/src/core/learned_index.cc" "src/CMakeFiles/los_core.dir/core/learned_index.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/learned_index.cc.o.d"
+  "/root/repo/src/core/model_factory.cc" "src/CMakeFiles/los_core.dir/core/model_factory.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/model_factory.cc.o.d"
+  "/root/repo/src/core/partitioned_bloom.cc" "src/CMakeFiles/los_core.dir/core/partitioned_bloom.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/partitioned_bloom.cc.o.d"
+  "/root/repo/src/core/sandwiched_bloom.cc" "src/CMakeFiles/los_core.dir/core/sandwiched_bloom.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/sandwiched_bloom.cc.o.d"
+  "/root/repo/src/core/scaling.cc" "src/CMakeFiles/los_core.dir/core/scaling.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/scaling.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/los_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/trainer.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "src/CMakeFiles/los_core.dir/core/training_data.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/training_data.cc.o.d"
+  "/root/repo/src/core/updatable_index.cc" "src/CMakeFiles/los_core.dir/core/updatable_index.cc.o" "gcc" "src/CMakeFiles/los_core.dir/core/updatable_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/los_deepsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_sets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_core.dir/core/hybrid.cc.o"
+  "CMakeFiles/los_core.dir/core/hybrid.cc.o.d"
+  "CMakeFiles/los_core.dir/core/learned_bloom.cc.o"
+  "CMakeFiles/los_core.dir/core/learned_bloom.cc.o.d"
+  "CMakeFiles/los_core.dir/core/learned_cardinality.cc.o"
+  "CMakeFiles/los_core.dir/core/learned_cardinality.cc.o.d"
+  "CMakeFiles/los_core.dir/core/learned_index.cc.o"
+  "CMakeFiles/los_core.dir/core/learned_index.cc.o.d"
+  "CMakeFiles/los_core.dir/core/model_factory.cc.o"
+  "CMakeFiles/los_core.dir/core/model_factory.cc.o.d"
+  "CMakeFiles/los_core.dir/core/partitioned_bloom.cc.o"
+  "CMakeFiles/los_core.dir/core/partitioned_bloom.cc.o.d"
+  "CMakeFiles/los_core.dir/core/sandwiched_bloom.cc.o"
+  "CMakeFiles/los_core.dir/core/sandwiched_bloom.cc.o.d"
+  "CMakeFiles/los_core.dir/core/scaling.cc.o"
+  "CMakeFiles/los_core.dir/core/scaling.cc.o.d"
+  "CMakeFiles/los_core.dir/core/trainer.cc.o"
+  "CMakeFiles/los_core.dir/core/trainer.cc.o.d"
+  "CMakeFiles/los_core.dir/core/training_data.cc.o"
+  "CMakeFiles/los_core.dir/core/training_data.cc.o.d"
+  "CMakeFiles/los_core.dir/core/updatable_index.cc.o"
+  "CMakeFiles/los_core.dir/core/updatable_index.cc.o.d"
+  "liblos_core.a"
+  "liblos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

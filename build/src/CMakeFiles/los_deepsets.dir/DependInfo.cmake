@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deepsets/compressed_model.cc" "src/CMakeFiles/los_deepsets.dir/deepsets/compressed_model.cc.o" "gcc" "src/CMakeFiles/los_deepsets.dir/deepsets/compressed_model.cc.o.d"
+  "/root/repo/src/deepsets/compression.cc" "src/CMakeFiles/los_deepsets.dir/deepsets/compression.cc.o" "gcc" "src/CMakeFiles/los_deepsets.dir/deepsets/compression.cc.o.d"
+  "/root/repo/src/deepsets/deepsets_model.cc" "src/CMakeFiles/los_deepsets.dir/deepsets/deepsets_model.cc.o" "gcc" "src/CMakeFiles/los_deepsets.dir/deepsets/deepsets_model.cc.o.d"
+  "/root/repo/src/deepsets/set_transformer.cc" "src/CMakeFiles/los_deepsets.dir/deepsets/set_transformer.cc.o" "gcc" "src/CMakeFiles/los_deepsets.dir/deepsets/set_transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/los_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_sets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/los_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

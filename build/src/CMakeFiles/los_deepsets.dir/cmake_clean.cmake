@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_deepsets.dir/deepsets/compressed_model.cc.o"
+  "CMakeFiles/los_deepsets.dir/deepsets/compressed_model.cc.o.d"
+  "CMakeFiles/los_deepsets.dir/deepsets/compression.cc.o"
+  "CMakeFiles/los_deepsets.dir/deepsets/compression.cc.o.d"
+  "CMakeFiles/los_deepsets.dir/deepsets/deepsets_model.cc.o"
+  "CMakeFiles/los_deepsets.dir/deepsets/deepsets_model.cc.o.d"
+  "CMakeFiles/los_deepsets.dir/deepsets/set_transformer.cc.o"
+  "CMakeFiles/los_deepsets.dir/deepsets/set_transformer.cc.o.d"
+  "liblos_deepsets.a"
+  "liblos_deepsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_deepsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

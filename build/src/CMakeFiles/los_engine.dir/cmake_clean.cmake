@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_engine.dir/engine/count_query.cc.o"
+  "CMakeFiles/los_engine.dir/engine/count_query.cc.o.d"
+  "liblos_engine.a"
+  "liblos_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_nn.dir/nn/init.cc.o"
+  "CMakeFiles/los_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/los_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/losses.cc.o"
+  "CMakeFiles/los_nn.dir/nn/losses.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/los_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/ops.cc.o"
+  "CMakeFiles/los_nn.dir/nn/ops.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/los_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/rnn.cc.o"
+  "CMakeFiles/los_nn.dir/nn/rnn.cc.o.d"
+  "CMakeFiles/los_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/los_nn.dir/nn/tensor.cc.o.d"
+  "liblos_nn.a"
+  "liblos_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

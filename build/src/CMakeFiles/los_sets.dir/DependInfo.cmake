@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sets/dictionary.cc" "src/CMakeFiles/los_sets.dir/sets/dictionary.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/dictionary.cc.o.d"
+  "/root/repo/src/sets/generators.cc" "src/CMakeFiles/los_sets.dir/sets/generators.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/generators.cc.o.d"
+  "/root/repo/src/sets/set_collection.cc" "src/CMakeFiles/los_sets.dir/sets/set_collection.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/set_collection.cc.o.d"
+  "/root/repo/src/sets/set_hash.cc" "src/CMakeFiles/los_sets.dir/sets/set_hash.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/set_hash.cc.o.d"
+  "/root/repo/src/sets/set_io.cc" "src/CMakeFiles/los_sets.dir/sets/set_io.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/set_io.cc.o.d"
+  "/root/repo/src/sets/subset_gen.cc" "src/CMakeFiles/los_sets.dir/sets/subset_gen.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/subset_gen.cc.o.d"
+  "/root/repo/src/sets/workload.cc" "src/CMakeFiles/los_sets.dir/sets/workload.cc.o" "gcc" "src/CMakeFiles/los_sets.dir/sets/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/los_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

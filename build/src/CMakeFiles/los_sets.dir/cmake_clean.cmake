@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_sets.dir/sets/dictionary.cc.o"
+  "CMakeFiles/los_sets.dir/sets/dictionary.cc.o.d"
+  "CMakeFiles/los_sets.dir/sets/generators.cc.o"
+  "CMakeFiles/los_sets.dir/sets/generators.cc.o.d"
+  "CMakeFiles/los_sets.dir/sets/set_collection.cc.o"
+  "CMakeFiles/los_sets.dir/sets/set_collection.cc.o.d"
+  "CMakeFiles/los_sets.dir/sets/set_hash.cc.o"
+  "CMakeFiles/los_sets.dir/sets/set_hash.cc.o.d"
+  "CMakeFiles/los_sets.dir/sets/set_io.cc.o"
+  "CMakeFiles/los_sets.dir/sets/set_io.cc.o.d"
+  "CMakeFiles/los_sets.dir/sets/subset_gen.cc.o"
+  "CMakeFiles/los_sets.dir/sets/subset_gen.cc.o.d"
+  "CMakeFiles/los_sets.dir/sets/workload.cc.o"
+  "CMakeFiles/los_sets.dir/sets/workload.cc.o.d"
+  "liblos_sets.a"
+  "liblos_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepsets_test.dir/deepsets_test.cc.o"
+  "CMakeFiles/deepsets_test.dir/deepsets_test.cc.o.d"
+  "deepsets_test"
+  "deepsets_test.pdb"
+  "deepsets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepsets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnn_test.dir/rnn_test.cc.o"
+  "CMakeFiles/rnn_test.dir/rnn_test.cc.o.d"
+  "rnn_test"
+  "rnn_test.pdb"
+  "rnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sets_test.dir/sets_test.cc.o"
+  "CMakeFiles/sets_test.dir/sets_test.cc.o.d"
+  "sets_test"
+  "sets_test.pdb"
+  "sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
