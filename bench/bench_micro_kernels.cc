@@ -6,11 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "baselines/bloom_filter.h"
 #include "baselines/bplus_tree.h"
 #include "baselines/inverted_index.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "deepsets/compressed_model.h"
 #include "deepsets/deepsets_model.h"
 #include "nn/init.h"
@@ -35,7 +37,52 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The seed scalar kernel, kept as the before/after baseline for the blocked
+// SIMD kernel above (EXPERIMENTS.md records the ratio).
+void BM_GemmReference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a(n, n), b(n, n), c(n, n);
+  los::nn::GaussianInit(&a, 1.0f, &rng);
+  los::nn::GaussianInit(&b, 1.0f, &rng);
+  for (auto _ : state) {
+    los::nn::GemmReference(a, false, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(128)->Arg(256)->Arg(512);
+
+// Threaded-vs-serial sweep: range(1) worker threads via an injected pool
+// (threads = 1 disables kernel threading entirely). On a single-core host
+// all rows collapse to the serial number.
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t threads = state.range(1);
+  Rng rng(1);
+  Tensor a(n, n), b(n, n), c(n, n);
+  los::nn::GaussianInit(&a, 1.0f, &rng);
+  los::nn::GaussianInit(&b, 1.0f, &rng);
+  std::unique_ptr<los::ThreadPool> pool;
+  if (threads <= 1) {
+    los::nn::SetKernelThreading(false);
+  } else {
+    pool = std::make_unique<los::ThreadPool>(static_cast<size_t>(threads));
+    los::nn::SetKernelThreadPool(pool.get());
+  }
+  for (auto _ : state) {
+    los::nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  los::nn::SetKernelThreading(true);
+  los::nn::SetKernelThreadPool(nullptr);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{256, 512}, {1, 2, 4}})
+    ->UseRealTime();
 
 void BM_LsmForwardSingleSet(benchmark::State& state) {
   los::deepsets::DeepSetsConfig cfg;
@@ -73,6 +120,62 @@ void BM_ClsmForwardSingleSet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClsmForwardSingleSet);
+
+// One PredictOne call per set: the pre-batching serving path.
+void BM_LsmPredictOneLoop(benchmark::State& state) {
+  los::deepsets::DeepSetsConfig cfg;
+  cfg.vocab = 10000;
+  cfg.embed_dim = 8;
+  cfg.phi_hidden = {64};
+  cfg.rho_hidden = {64};
+  los::deepsets::DeepSetsModel model(cfg);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<los::sets::ElementId>> sets(batch);
+  for (auto& s : sets) {
+    s.resize(4);
+    for (auto& e : s) e = static_cast<los::sets::ElementId>(rng.Uniform(10000));
+    los::sets::Canonicalize(&s);
+  }
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& s : sets) {
+      sum += model.PredictOne({s.data(), s.size()});
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_LsmPredictOneLoop)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Same sets through one PredictBatch call (batched forwards + threaded
+// kernels + scratch reuse).
+void BM_LsmPredictBatch(benchmark::State& state) {
+  los::deepsets::DeepSetsConfig cfg;
+  cfg.vocab = 10000;
+  cfg.embed_dim = 8;
+  cfg.phi_hidden = {64};
+  cfg.rho_hidden = {64};
+  los::deepsets::DeepSetsModel model(cfg);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<los::sets::ElementId>> sets(batch);
+  std::vector<los::sets::SetView> views;
+  for (auto& s : sets) {
+    s.resize(4);
+    for (auto& e : s) e = static_cast<los::sets::ElementId>(rng.Uniform(10000));
+    los::sets::Canonicalize(&s);
+    views.emplace_back(s.data(), s.size());
+  }
+  std::vector<double> out;
+  for (auto _ : state) {
+    out.clear();
+    model.PredictBatch(views.data(), views.size(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_LsmPredictBatch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_BPlusTreeFind(benchmark::State& state) {
   los::baselines::BPlusTree tree(100);

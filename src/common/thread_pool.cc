@@ -4,6 +4,14 @@
 
 namespace los {
 
+namespace {
+// Set for the lifetime of any pool's worker thread. ParallelFor uses it to
+// detect nested calls: a worker that blocked waiting on sub-tasks would
+// deadlock a single-worker pool (and waste a slot on any pool), so nested
+// loops run inline on the calling worker instead.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -33,6 +41,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -50,6 +59,10 @@ void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, size_t)>& fn,
                              size_t min_chunk) {
   if (n == 0) return;
+  if (t_in_pool_worker) {
+    fn(0, n);
+    return;
+  }
   size_t num_chunks = (n + min_chunk - 1) / min_chunk;
   if (num_chunks > workers_.size()) num_chunks = workers_.size();
   if (num_chunks <= 1) {

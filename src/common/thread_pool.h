@@ -27,6 +27,10 @@ class ThreadPool {
 
   /// Runs `fn(begin, end)` over disjoint chunks of [0, n) and blocks until
   /// all chunks complete. Falls back to inline execution for tiny ranges.
+  ///
+  /// Safe to call from inside a pool worker (nested parallelism): the loop
+  /// then runs inline on the calling worker instead of enqueueing tasks the
+  /// blocked caller could deadlock on.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
                    size_t min_chunk = 1024);
 

@@ -93,11 +93,11 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
     const std::vector<sets::Query>& queries) {
   MultiResult result;
   result.verdicts.assign(queries.size(), false);
-  // Partition: OOV queries are definitively absent; the rest go through one
-  // batched forward pass, with backup-filter fallback per negative.
+  // Partition: OOV queries are definitively absent; the rest go through
+  // batched forward passes (SetModel::PredictBatch), with backup-filter
+  // fallback per negative.
   std::vector<size_t> model_queries;
-  std::vector<sets::ElementId> ids;
-  std::vector<int64_t> offsets{0};
+  std::vector<sets::SetView> views;
   const int64_t vocab = model_->vocab();
   for (size_t i = 0; i < queries.size(); ++i) {
     sets::SetView q = queries[i].view();
@@ -110,15 +110,14 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
     }
     if (oov) continue;
     model_queries.push_back(i);
-    ids.insert(ids.end(), q.begin(), q.end());
-    offsets.push_back(static_cast<int64_t>(ids.size()));
+    views.push_back(q);
   }
   if (!model_queries.empty()) {
-    const nn::Tensor& pred = model_->Forward(ids, offsets);
+    std::vector<double> preds;
+    model_->PredictBatch(views.data(), views.size(), &preds);
     for (size_t k = 0; k < model_queries.size(); ++k) {
       size_t i = model_queries[k];
-      bool verdict = pred(static_cast<int64_t>(k), 0) >=
-                     static_cast<float>(threshold_);
+      bool verdict = preds[k] >= threshold_;
       if (!verdict) verdict = backup_.MayContain(queries[i].view());
       result.verdicts[i] = verdict;
     }

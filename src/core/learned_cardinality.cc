@@ -92,11 +92,11 @@ double LearnedCardinalityEstimator::Estimate(sets::SetView q) {
 std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
     const std::vector<sets::Query>& queries) {
   std::vector<double> out(queries.size(), 0.0);
-  // Resolve aux hits and OOV queries first; batch the rest through the
-  // model in one CSR forward pass.
+  // Resolve aux hits and OOV queries first; batch the rest through
+  // SetModel::PredictBatch, which bounds sub-batch sizes and reuses the
+  // model's scratch CSR buffers.
   std::vector<size_t> model_queries;
-  std::vector<sets::ElementId> ids;
-  std::vector<int64_t> offsets{0};
+  std::vector<sets::SetView> views;
   const int64_t vocab = model_->vocab();
   for (size_t i = 0; i < queries.size(); ++i) {
     sets::SetView q = queries[i].view();
@@ -113,14 +113,13 @@ std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
     }
     if (oov) continue;  // stays 0
     model_queries.push_back(i);
-    ids.insert(ids.end(), q.begin(), q.end());
-    offsets.push_back(static_cast<int64_t>(ids.size()));
+    views.push_back(q);
   }
   if (!model_queries.empty()) {
-    const nn::Tensor& pred = model_->Forward(ids, offsets);
+    std::vector<double> preds;
+    model_->PredictBatch(views.data(), views.size(), &preds);
     for (size_t k = 0; k < model_queries.size(); ++k) {
-      out[model_queries[k]] =
-          scaler_.Unscale(static_cast<double>(pred(static_cast<int64_t>(k), 0)));
+      out[model_queries[k]] = scaler_.Unscale(preds[k]);
     }
   }
   return out;

@@ -117,10 +117,14 @@ Result<LearnedSetIndex> LearnedSetIndex::Load(
   return index;
 }
 
-int64_t LearnedSetIndex::EstimatePosition(sets::SetView q) {
-  double est = std::round(scaler_.Unscale(model_->PredictOne(q)));
+int64_t LearnedSetIndex::ClampEstimate(double scaled) const {
+  double est = std::round(scaler_.Unscale(scaled));
   est = std::clamp(est, 0.0, static_cast<double>(collection_->size() - 1));
   return static_cast<int64_t>(est);
+}
+
+int64_t LearnedSetIndex::EstimatePosition(sets::SetView q) {
+  return ClampEstimate(model_->PredictOne(q));
 }
 
 int64_t LearnedSetIndex::LookupEqual(sets::SetView q, LookupStats* stats) {
@@ -217,7 +221,11 @@ int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
   }
   // Lines 4-7: model estimate + bounded local scan, left to right so the
   // *first* superset position is returned.
-  int64_t est = EstimatePosition(q);
+  return ScanFromEstimate(q, EstimatePosition(q), stats);
+}
+
+int64_t LearnedSetIndex::ScanFromEstimate(sets::SetView q, int64_t est,
+                                          LookupStats* stats) {
   double e_r = bounds_.ErrorFor(static_cast<double>(est));
   int64_t lo = std::max<int64_t>(0, est - static_cast<int64_t>(e_r));
   int64_t hi = std::min<int64_t>(static_cast<int64_t>(collection_->size()),
@@ -237,6 +245,51 @@ int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
     }
   }
   return pos;
+}
+
+std::vector<int64_t> LearnedSetIndex::LookupBatch(
+    const std::vector<sets::Query>& queries) {
+  std::vector<int64_t> results(queries.size(), -1);
+  // Stage 1: resolve auxiliary hits and out-of-vocabulary queries; everything
+  // else is deferred to one batched model pass.
+  std::vector<size_t> deferred;
+  std::vector<sets::SetView> views;
+  const int64_t vocab = model_->vocab();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sets::SetView q = queries[i].view();
+    auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
+    if (aux_pos.has_value() &&
+        collection_->SetContainsSorted(static_cast<size_t>(*aux_pos), q)) {
+      results[i] = static_cast<int64_t>(*aux_pos);
+      continue;
+    }
+    bool oov = false;
+    for (sets::ElementId e : q) {
+      if (static_cast<int64_t>(e) >= vocab) {
+        oov = true;
+        break;
+      }
+    }
+    if (oov) {
+      results[i] = fallback_full_scan_
+                       ? collection_->FindFirstSuperset(q, 0,
+                                                        collection_->size())
+                       : -1;
+      continue;
+    }
+    deferred.push_back(i);
+    views.push_back(q);
+  }
+  // Stage 2: batched estimates, then per-query bounded scans.
+  if (!deferred.empty()) {
+    std::vector<double> preds;
+    model_->PredictBatch(views.data(), views.size(), &preds);
+    for (size_t k = 0; k < deferred.size(); ++k) {
+      results[deferred[k]] =
+          ScanFromEstimate(views[k], ClampEstimate(preds[k]), nullptr);
+    }
+  }
+  return results;
 }
 
 }  // namespace los::core

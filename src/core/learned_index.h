@@ -10,6 +10,7 @@
 #include "core/trainer.h"
 #include "core/training_data.h"
 #include "sets/subset_gen.h"
+#include "sets/workload.h"
 
 namespace los::core {
 
@@ -60,6 +61,12 @@ class LearnedSetIndex {
   /// Raw model estimate of q's first position (no scan, no aux probe).
   int64_t EstimatePosition(sets::SetView q);
 
+  /// Batched Lookup: results[i] == Lookup(queries[i]). Auxiliary hits and
+  /// out-of-vocabulary queries are resolved first; the remainder share
+  /// batched model forwards (SetModel::PredictBatch) instead of one forward
+  /// per query, which is how heavy query traffic should drive the index.
+  std::vector<int64_t> LookupBatch(const std::vector<sets::Query>& queries);
+
   /// §7.2 update handling: after the caller updates set `position` in the
   /// collection (e.g. via SetCollection::UpdateSet), registers every subset
   /// of the new content whose bounded lookup would now miss, by inserting
@@ -100,6 +107,13 @@ class LearnedSetIndex {
 
  private:
   LearnedSetIndex() : aux_(100) {}
+
+  /// Converts a scaled model output into a clamped position estimate.
+  int64_t ClampEstimate(double scaled) const;
+
+  /// Algorithm 2 lines 4-7: bounded local scan around `est` (plus optional
+  /// full-scan fallback). Shared by Lookup and LookupBatch.
+  int64_t ScanFromEstimate(sets::SetView q, int64_t est, LookupStats* stats);
 
   const sets::SetCollection* collection_ = nullptr;
   std::unique_ptr<deepsets::SetModel> model_;

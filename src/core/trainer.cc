@@ -86,10 +86,7 @@ std::vector<double> Trainer::PredictScaled(
   for (size_t begin = 0; begin < idx.size(); begin += batch) {
     size_t end = std::min(idx.size(), begin + batch);
     data.GatherBatch(idx, begin, end, &ids, &offsets, &targets);
-    const nn::Tensor& pred = model->Forward(ids, offsets);
-    for (int64_t i = 0; i < pred.rows(); ++i) {
-      out.push_back(static_cast<double>(pred(i, 0)));
-    }
+    model->PredictBatchCsr(ids, offsets, &out);
   }
   return out;
 }

@@ -24,13 +24,6 @@ std::vector<int64_t> RhoDims(int64_t in, const std::vector<int64_t>& hidden) {
 
 }  // namespace
 
-double SetModel::PredictOne(sets::SetView s) {
-  std::vector<sets::ElementId> ids(s.begin(), s.end());
-  std::vector<int64_t> offsets{0, static_cast<int64_t>(ids.size())};
-  const nn::Tensor& out = Forward(ids, offsets);
-  return static_cast<double>(out(0, 0));
-}
-
 DeepSetsModel::DeepSetsModel(const DeepSetsConfig& config)
     : config_(config), pool_(config.pooling) {
   Rng rng(config_.seed);

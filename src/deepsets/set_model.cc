@@ -1,0 +1,92 @@
+#include "deepsets/set_model.h"
+
+namespace los::deepsets {
+
+namespace {
+
+// Sub-batch bounds for PredictBatch: caps the rows of every intermediate
+// tensor of a forward pass, keeping the working set cache-resident and the
+// peak memory independent of the caller's batch size. Large callers pay one
+// Forward per kMaxBatchSets (or kMaxBatchElements flattened ids, whichever
+// trips first).
+constexpr size_t kMaxBatchSets = 2048;
+constexpr size_t kMaxBatchElements = 1 << 16;
+
+}  // namespace
+
+double SetModel::PredictOne(sets::SetView s) {
+  scratch_ids_.assign(s.begin(), s.end());
+  scratch_offsets_.clear();
+  scratch_offsets_.push_back(0);
+  scratch_offsets_.push_back(static_cast<int64_t>(scratch_ids_.size()));
+  const nn::Tensor& out = Forward(scratch_ids_, scratch_offsets_);
+  return static_cast<double>(out(0, 0));
+}
+
+void SetModel::FlushScratch(std::vector<double>* out) {
+  if (scratch_offsets_.size() <= 1) return;
+  const nn::Tensor& pred = Forward(scratch_ids_, scratch_offsets_);
+  for (int64_t i = 0; i < pred.rows(); ++i) {
+    out->push_back(static_cast<double>(pred(i, 0)));
+  }
+  scratch_ids_.clear();
+  scratch_offsets_.clear();
+  scratch_offsets_.push_back(0);
+}
+
+void SetModel::PredictBatch(const sets::SetView* views, size_t count,
+                            std::vector<double>* out) {
+  out->reserve(out->size() + count);
+  scratch_ids_.clear();
+  scratch_offsets_.clear();
+  scratch_offsets_.push_back(0);
+  for (size_t i = 0; i < count; ++i) {
+    scratch_ids_.insert(scratch_ids_.end(), views[i].begin(), views[i].end());
+    scratch_offsets_.push_back(static_cast<int64_t>(scratch_ids_.size()));
+    if (scratch_offsets_.size() - 1 >= kMaxBatchSets ||
+        scratch_ids_.size() >= kMaxBatchElements) {
+      FlushScratch(out);
+    }
+  }
+  FlushScratch(out);
+}
+
+std::vector<double> SetModel::PredictBatch(
+    const std::vector<sets::SetView>& views) {
+  std::vector<double> out;
+  PredictBatch(views.data(), views.size(), &out);
+  return out;
+}
+
+void SetModel::PredictBatchCsr(const std::vector<sets::ElementId>& ids,
+                               const std::vector<int64_t>& offsets,
+                               std::vector<double>* out) {
+  if (offsets.size() <= 1) return;
+  const size_t num_sets = offsets.size() - 1;
+  out->reserve(out->size() + num_sets);
+  if (num_sets <= kMaxBatchSets && ids.size() <= kMaxBatchElements) {
+    // Common case: forward the caller's buffers directly, no copy.
+    const nn::Tensor& pred = Forward(ids, offsets);
+    for (int64_t i = 0; i < pred.rows(); ++i) {
+      out->push_back(static_cast<double>(pred(i, 0)));
+    }
+    return;
+  }
+  scratch_ids_.clear();
+  scratch_offsets_.clear();
+  scratch_offsets_.push_back(0);
+  for (size_t s = 0; s < num_sets; ++s) {
+    const int64_t begin = offsets[s];
+    const int64_t end = offsets[s + 1];
+    scratch_ids_.insert(scratch_ids_.end(), ids.begin() + begin,
+                        ids.begin() + end);
+    scratch_offsets_.push_back(static_cast<int64_t>(scratch_ids_.size()));
+    if (scratch_offsets_.size() - 1 >= kMaxBatchSets ||
+        scratch_ids_.size() >= kMaxBatchElements) {
+      FlushScratch(out);
+    }
+  }
+  FlushScratch(out);
+}
+
+}  // namespace los::deepsets

@@ -50,7 +50,31 @@ class SetModel {
   virtual void Save(BinaryWriter* w) const = 0;
 
   /// Predicts the scalar for a single set (convenience around Forward).
+  /// Reuses internal scratch buffers, so repeated calls do not allocate.
   double PredictOne(sets::SetView s);
+
+  /// Batched inference: appends one prediction per set to `out`. Large
+  /// batches are split into bounded sub-batches internally (reusing one
+  /// scratch CSR buffer per model), so arbitrarily many sets can be served
+  /// without unbounded intermediate tensors or per-query allocation churn.
+  void PredictBatch(const sets::SetView* views, size_t count,
+                    std::vector<double>* out);
+  std::vector<double> PredictBatch(const std::vector<sets::SetView>& views);
+
+  /// Batched inference over an already-flattened CSR batch (`offsets` has
+  /// num_sets + 1 entries into `ids`); appends one prediction per set to
+  /// `out`. Used by the trainer and the learned structures' batch lookups.
+  void PredictBatchCsr(const std::vector<sets::ElementId>& ids,
+                       const std::vector<int64_t>& offsets,
+                       std::vector<double>* out);
+
+ private:
+  /// Runs Forward on a prepared scratch batch and appends the outputs.
+  void FlushScratch(std::vector<double>* out);
+
+  // Reused across PredictOne/PredictBatch calls.
+  std::vector<sets::ElementId> scratch_ids_;
+  std::vector<int64_t> scratch_offsets_;
 };
 
 }  // namespace los::deepsets

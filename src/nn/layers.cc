@@ -122,12 +122,18 @@ void Embedding::ForwardInto(const std::vector<uint32_t>& ids, Tensor* out,
   const int64_t d = dim();
   assert(out->rows() == static_cast<int64_t>(ids.size()));
   assert(col_offset + d <= out->cols());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    assert(ids[i] < table_.value.rows());
-    const float* src = table_.value.row(ids[i]);
-    float* dst = out->row(static_cast<int64_t>(i)) + col_offset;
-    std::memcpy(dst, src, static_cast<size_t>(d) * sizeof(float));
-  }
+  // Each output row is written by exactly one chunk, so the gather can be
+  // split freely across the kernel pool.
+  KernelParallelFor(
+      static_cast<int64_t>(ids.size()), 2048,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          assert(ids[static_cast<size_t>(i)] < table_.value.rows());
+          const float* src = table_.value.row(ids[static_cast<size_t>(i)]);
+          float* dst = out->row(i) + col_offset;
+          std::memcpy(dst, src, static_cast<size_t>(d) * sizeof(float));
+        }
+      });
 }
 
 void Embedding::Backward(const std::vector<uint32_t>& ids,
@@ -140,6 +146,8 @@ void Embedding::BackwardFrom(const std::vector<uint32_t>& ids,
   const int64_t d = dim();
   assert(dout.rows() == static_cast<int64_t>(ids.size()));
   assert(col_offset + d <= dout.cols());
+  // Serial on purpose: this is a scatter-add and duplicate ids across chunks
+  // would race (and reorder float accumulation) if parallelized naively.
   for (size_t i = 0; i < ids.size(); ++i) {
     const float* src = dout.row(static_cast<int64_t>(i)) + col_offset;
     float* dst = table_.grad.row(ids[i]);
@@ -181,34 +189,42 @@ void SegmentPool::Forward(const Tensor& x, const std::vector<int64_t>& offsets,
   if (pooling_ == Pooling::kMax && argmax != nullptr) {
     argmax->assign(static_cast<size_t>(num_sets * d), -1);
   }
-  for (int64_t s = 0; s < num_sets; ++s) {
-    const int64_t begin = offsets[static_cast<size_t>(s)];
-    const int64_t end = offsets[static_cast<size_t>(s) + 1];
-    float* prow = pooled->row(s);
-    if (pooling_ == Pooling::kMax) {
-      for (int64_t j = 0; j < d; ++j) {
-        prow[j] = begin < end ? -std::numeric_limits<float>::infinity() : 0.0f;
-      }
-      for (int64_t e = begin; e < end; ++e) {
-        const float* xr = x.row(e);
+  // Sets are independent (disjoint pooled rows and argmax slots), so the
+  // batch dimension parallelizes without affecting per-set accumulation
+  // order.
+  KernelParallelFor(num_sets, 128, [&](int64_t set_begin, int64_t set_end) {
+    for (int64_t s = set_begin; s < set_end; ++s) {
+      const int64_t begin = offsets[static_cast<size_t>(s)];
+      const int64_t end = offsets[static_cast<size_t>(s) + 1];
+      float* prow = pooled->row(s);
+      if (pooling_ == Pooling::kMax) {
         for (int64_t j = 0; j < d; ++j) {
-          if (xr[j] > prow[j]) {
-            prow[j] = xr[j];
-            if (argmax != nullptr) (*argmax)[static_cast<size_t>(s * d + j)] = e;
+          prow[j] =
+              begin < end ? -std::numeric_limits<float>::infinity() : 0.0f;
+        }
+        for (int64_t e = begin; e < end; ++e) {
+          const float* xr = x.row(e);
+          for (int64_t j = 0; j < d; ++j) {
+            if (xr[j] > prow[j]) {
+              prow[j] = xr[j];
+              if (argmax != nullptr) {
+                (*argmax)[static_cast<size_t>(s * d + j)] = e;
+              }
+            }
           }
         }
-      }
-    } else {
-      for (int64_t e = begin; e < end; ++e) {
-        const float* xr = x.row(e);
-        for (int64_t j = 0; j < d; ++j) prow[j] += xr[j];
-      }
-      if (pooling_ == Pooling::kMean && end > begin) {
-        const float inv = 1.0f / static_cast<float>(end - begin);
-        for (int64_t j = 0; j < d; ++j) prow[j] *= inv;
+      } else {
+        for (int64_t e = begin; e < end; ++e) {
+          const float* xr = x.row(e);
+          for (int64_t j = 0; j < d; ++j) prow[j] += xr[j];
+        }
+        if (pooling_ == Pooling::kMean && end > begin) {
+          const float inv = 1.0f / static_cast<float>(end - begin);
+          for (int64_t j = 0; j < d; ++j) prow[j] *= inv;
+        }
       }
     }
-  }
+  });
 }
 
 void SegmentPool::Backward(const Tensor& dpooled,
@@ -218,34 +234,38 @@ void SegmentPool::Backward(const Tensor& dpooled,
   const int64_t num_sets = static_cast<int64_t>(offsets.size()) - 1;
   const int64_t d = dpooled.cols();
   dx->ResizeAndZero(total_elements, d);
-  for (int64_t s = 0; s < num_sets; ++s) {
-    const int64_t begin = offsets[static_cast<size_t>(s)];
-    const int64_t end = offsets[static_cast<size_t>(s) + 1];
-    const float* prow = dpooled.row(s);
-    switch (pooling_) {
-      case Pooling::kSum:
-        for (int64_t e = begin; e < end; ++e) {
-          float* xr = dx->row(e);
-          for (int64_t j = 0; j < d; ++j) xr[j] += prow[j];
+  // Each set scatters only into its own element rows (CSR segments are
+  // disjoint), so splitting over sets is race-free and deterministic.
+  KernelParallelFor(num_sets, 128, [&](int64_t set_begin, int64_t set_end) {
+    for (int64_t s = set_begin; s < set_end; ++s) {
+      const int64_t begin = offsets[static_cast<size_t>(s)];
+      const int64_t end = offsets[static_cast<size_t>(s) + 1];
+      const float* prow = dpooled.row(s);
+      switch (pooling_) {
+        case Pooling::kSum:
+          for (int64_t e = begin; e < end; ++e) {
+            float* xr = dx->row(e);
+            for (int64_t j = 0; j < d; ++j) xr[j] += prow[j];
+          }
+          break;
+        case Pooling::kMean: {
+          if (end == begin) break;
+          const float inv = 1.0f / static_cast<float>(end - begin);
+          for (int64_t e = begin; e < end; ++e) {
+            float* xr = dx->row(e);
+            for (int64_t j = 0; j < d; ++j) xr[j] += prow[j] * inv;
+          }
+          break;
         }
-        break;
-      case Pooling::kMean: {
-        if (end == begin) break;
-        const float inv = 1.0f / static_cast<float>(end - begin);
-        for (int64_t e = begin; e < end; ++e) {
-          float* xr = dx->row(e);
-          for (int64_t j = 0; j < d; ++j) xr[j] += prow[j] * inv;
-        }
-        break;
+        case Pooling::kMax:
+          for (int64_t j = 0; j < d; ++j) {
+            int64_t winner = argmax[static_cast<size_t>(s * d + j)];
+            if (winner >= 0) (*dx)(winner, j) += prow[j];
+          }
+          break;
       }
-      case Pooling::kMax:
-        for (int64_t j = 0; j < d; ++j) {
-          int64_t winner = argmax[static_cast<size_t>(s * d + j)];
-          if (winner >= 0) (*dx)(winner, j) += prow[j];
-        }
-        break;
     }
-  }
+  });
 }
 
 }  // namespace los::nn

@@ -1,12 +1,253 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace los::nn {
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM configuration.
+//
+// The kernel follows the classic three-level blocking scheme (BLIS/GotoBLAS):
+//   - kKc x kNc panels of op(B) are packed once and reused by every row tile;
+//   - kMr x kKc strips of op(A) are packed per row tile with alpha folded in;
+//   - a kMr x kNr register tile accumulates over the packed panels with a
+//     branch-free FMA loop the compiler can vectorize.
+// kMr*kNr floats must fit the register file (6x32 floats = 12 zmm); the
+// kKc*kNr B strip stays L1-resident during a micro-kernel call and the full
+// kKc*kNc panel targets L2.
+// ---------------------------------------------------------------------------
+constexpr int64_t kMr = 6;
+constexpr int64_t kNr = 32;
+constexpr int64_t kKc = 256;
+constexpr int64_t kNc = 1024;
+
+// The blocked path needs enough output rows to amortize packing B (cost
+// ~k*n) and at least one full kNr strip of useful columns (a 1-wide output
+// head would compute kNr-1 padded lanes for nothing). Everything else — the
+// tiny per-set matrices of single-query forwards — takes the plain i-k-j
+// loop.
+constexpr int64_t kBlockedMinRows = 12;
+constexpr int64_t kBlockedMinWork = 32 * 32 * 32;
+
+// Minimum row tiles per chunk when threading a GEMM, and minimum
+// multiply-adds before threads are used at all.
+constexpr int64_t kRowTilesPerChunk = 16;
+constexpr int64_t kThreadedCutoff = 256 * 256 * 64;
+
+bool g_kernel_threading = true;
+ThreadPool* g_kernel_pool = nullptr;  // nullptr -> ThreadPool::Global()
+
+ThreadPool* KernelPool() {
+  return g_kernel_pool != nullptr ? g_kernel_pool : ThreadPool::Global();
+}
+
+/// op(A)(i, kk) for the packing routines.
+inline float AAt(const float* ad, int64_t a_cols, bool trans_a, int64_t i,
+                 int64_t kk) {
+  return trans_a ? ad[kk * a_cols + i] : ad[i * a_cols + kk];
+}
+
+/// Packs a kc x nr slice of op(B) (rows [pc, pc+kc), cols [jc, jc+nr)) into
+/// `bp` in p-major order: bp[p*kNr + j]. Columns beyond `nr` are zero-padded
+/// so the micro-kernel never needs a column tail case.
+void PackB(const float* bd, int64_t b_cols, bool trans_b, int64_t pc,
+           int64_t kc, int64_t jc, int64_t nr, float* bp) {
+  if (!trans_b) {
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = bd + (pc + p) * b_cols + jc;
+      float* dst = bp + p * kNr;
+      std::memcpy(dst, src, static_cast<size_t>(nr) * sizeof(float));
+      for (int64_t j = nr; j < kNr; ++j) dst[j] = 0.0f;
+    }
+  } else {
+    // op(B)(kk, j) = B(j, kk): each logical column j is a contiguous row of
+    // the stored B, so pack column-by-column.
+    for (int64_t j = 0; j < nr; ++j) {
+      const float* src = bd + (jc + j) * b_cols + pc;
+      for (int64_t p = 0; p < kc; ++p) bp[p * kNr + j] = src[p];
+    }
+    for (int64_t j = nr; j < kNr; ++j) {
+      for (int64_t p = 0; p < kc; ++p) bp[p * kNr + j] = 0.0f;
+    }
+  }
+}
+
+/// Packs a mr x kc strip of alpha*op(A) (rows [i0, i0+mr), depth
+/// [pc, pc+kc)) into `ap` in p-major order: ap[p*kMr + i], zero-padding rows
+/// beyond `mr`.
+void PackA(const float* ad, int64_t a_cols, bool trans_a, float alpha,
+           int64_t i0, int64_t mr, int64_t pc, int64_t kc, float* ap) {
+  for (int64_t p = 0; p < kc; ++p) {
+    float* dst = ap + p * kMr;
+    for (int64_t i = 0; i < mr; ++i) {
+      dst[i] = alpha * AAt(ad, a_cols, trans_a, i0 + i, pc + p);
+    }
+    for (int64_t i = mr; i < kMr; ++i) dst[i] = 0.0f;
+  }
+}
+
+/// acc[kMr][kNr] += packed_a * packed_b over `kc` depth steps. Fully
+/// branch-free; with constexpr tile sizes the compiler keeps `acc` in vector
+/// registers and emits contiguous FMAs.
+inline void MicroKernel(int64_t kc, const float* __restrict ap,
+                        const float* __restrict bp, float* __restrict acc) {
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* __restrict brow = bp + p * kNr;
+    const float* __restrict acol = ap + p * kMr;
+    for (int64_t i = 0; i < kMr; ++i) {
+      const float av = acol[i];
+      float* __restrict arow = acc + i * kNr;
+      for (int64_t j = 0; j < kNr; ++j) arow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Simple i-k-j kernel for problems too small to amortize packing. Unlike
+/// the original seed kernel there is no data-dependent `av == 0` branch, so
+/// the inner loop always vectorizes to contiguous FMAs.
+void GemmSmall(const float* ad, int64_t a_cols, bool trans_a, const float* bd,
+               int64_t b_cols, bool trans_b, float alpha, int64_t m, int64_t n,
+               int64_t k, float* cd) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = cd + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * AAt(ad, a_cols, trans_a, i, kk);
+      if (!trans_b) {
+        const float* brow = bd + kk * b_cols;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * bd[j * b_cols + kk];
+      }
+    }
+  }
+}
+
+/// One parallel chunk of the blocked kernel: row tiles [tile_begin,
+/// tile_end) against the already-packed `bp` panel. Each chunk writes a
+/// disjoint set of C rows, so chunking never changes results.
+void RowTileRange(const float* ad, int64_t a_cols, bool trans_a, float alpha,
+                  int64_t m, int64_t n, const float* bp, int64_t pc,
+                  int64_t kc, int64_t jc, int64_t nc, float* cd,
+                  int64_t tile_begin, int64_t tile_end) {
+  alignas(64) float ap[kKc * kMr];
+  alignas(64) float acc[kMr * kNr];
+  for (int64_t t = tile_begin; t < tile_end; ++t) {
+    const int64_t i0 = t * kMr;
+    const int64_t mr = std::min(kMr, m - i0);
+    PackA(ad, a_cols, trans_a, alpha, i0, mr, pc, kc, ap);
+    for (int64_t js = 0; js < nc; js += kNr) {
+      const int64_t nr = std::min(kNr, nc - js);
+      std::memset(acc, 0, sizeof(acc));
+      MicroKernel(kc, ap, bp + js * kKc, acc);
+      for (int64_t i = 0; i < mr; ++i) {
+        float* crow = cd + (i0 + i) * n + jc + js;
+        const float* arow = acc + i * kNr;
+        for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SetKernelThreading(bool enabled) { g_kernel_threading = enabled; }
+
+bool KernelThreadingEnabled() { return g_kernel_threading; }
+
+void SetKernelThreadPool(ThreadPool* pool) { g_kernel_pool = pool; }
+
+void KernelParallelFor(int64_t n, int64_t min_chunk,
+                       const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (!g_kernel_threading || n <= min_chunk) {
+    fn(0, n);
+    return;
+  }
+  KernelPool()->ParallelFor(
+      static_cast<size_t>(n),
+      [&fn](size_t begin, size_t end) {
+        fn(static_cast<int64_t>(begin), static_cast<int64_t>(end));
+      },
+      static_cast<size_t>(min_chunk));
+}
+
 void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           float alpha, float beta, Tensor* c) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t k = trans_a ? a.rows() : a.cols();
+  const int64_t kb = trans_b ? b.cols() : b.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  assert(k == kb);
+  (void)kb;
+  assert(c->rows() == m && c->cols() == n);
+
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    c->Scale(beta);
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  float* cd = c->data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const int64_t a_cols = a.cols();
+  const int64_t b_cols = b.cols();
+
+  const int64_t work = m * n * k;
+  if (m < kBlockedMinRows || n < kNr || work < kBlockedMinWork) {
+    GemmSmall(ad, a_cols, trans_a, bd, b_cols, trans_b, alpha, m, n, k, cd);
+    return;
+  }
+
+  const int64_t row_tiles = (m + kMr - 1) / kMr;
+  const bool threaded = g_kernel_threading && work >= kThreadedCutoff &&
+                        row_tiles > kRowTilesPerChunk;
+  // Packing scratch, reused across calls so mid-size GEMMs (one panel) pay
+  // no allocation. Strips are laid out at a fixed kKc depth stride, so the
+  // buffer is sized by the (kNr-rounded) panel width alone. Only the calling
+  // thread packs; workers read it.
+  static thread_local std::vector<float> bp;
+  const int64_t nc_max = std::min(kNc, ((n + kNr - 1) / kNr) * kNr);
+  bp.resize(static_cast<size_t>(nc_max * kKc));
+  // Hoist the pointer: worker threads must read THIS thread's packed panel,
+  // not their own (empty) thread-local scratch.
+  float* const bpd = bp.data();
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t nc = std::min(kNc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      // Pack the whole B panel in kNr-column strips; strip s lives at
+      // bp[s * kNr * kKc], columns zero-padded to kNr so the micro-kernel
+      // has no column tail case.
+      for (int64_t js = 0; js < nc; js += kNr) {
+        float* strip = bpd + js * kKc;
+        PackB(bd, b_cols, trans_b, pc, kc, jc + js, std::min(kNr, nc - js),
+              strip);
+      }
+      auto run = [&](int64_t tile_begin, int64_t tile_end) {
+        RowTileRange(ad, a_cols, trans_a, alpha, m, n, bpd, pc, kc, jc,
+                     nc, cd, tile_begin, tile_end);
+      };
+      if (threaded) {
+        KernelParallelFor(row_tiles, kRowTilesPerChunk, run);
+      } else {
+        run(0, row_tiles);
+      }
+    }
+  }
+}
+
+void GemmReference(const Tensor& a, bool trans_a, const Tensor& b,
+                   bool trans_b, float alpha, float beta, Tensor* c) {
   const int64_t m = trans_a ? a.cols() : a.rows();
   const int64_t k = trans_a ? a.rows() : a.cols();
   const int64_t kb = trans_b ? b.cols() : b.rows();
@@ -27,8 +268,6 @@ void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   const int64_t a_cols = a.cols();
   const int64_t b_cols = b.cols();
 
-  // i-k-j ordering keeps the innermost loop streaming over contiguous rows
-  // of both B (or B^T handled below) and C.
   for (int64_t i = 0; i < m; ++i) {
     float* crow = cd + i * n;
     for (int64_t kk = 0; kk < k; ++kk) {
@@ -39,7 +278,6 @@ void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
         const float* brow = bd + kk * b_cols;
         for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       } else {
-        // B^T: column kk of B^T is row j, entry (j, kk) of B.
         for (int64_t j = 0; j < n; ++j) crow[j] += av * bd[j * b_cols + kk];
       }
     }
@@ -49,14 +287,19 @@ void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
 void AddRowBroadcast(const Tensor& bias, Tensor* x) {
   assert(bias.rows() == 1 && bias.cols() == x->cols());
   const float* b = bias.data();
-  for (int64_t i = 0; i < x->rows(); ++i) {
-    float* row = x->row(i);
-    for (int64_t j = 0; j < x->cols(); ++j) row[j] += b[j];
-  }
+  const int64_t cols = x->cols();
+  KernelParallelFor(x->rows(), 4096, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      float* row = x->row(i);
+      for (int64_t j = 0; j < cols; ++j) row[j] += b[j];
+    }
+  });
 }
 
 void SumRowsAccumulate(const Tensor& x, Tensor* out) {
   assert(out->rows() == 1 && out->cols() == x.cols());
+  // Serial on purpose: a cross-row reduction parallelized over chunks would
+  // change the floating-point accumulation order with the chunking.
   float* o = out->data();
   for (int64_t i = 0; i < x.rows(); ++i) {
     const float* row = x.row(i);
@@ -64,44 +307,67 @@ void SumRowsAccumulate(const Tensor& x, Tensor* out) {
   }
 }
 
+namespace {
+
+/// Splits a flat elementwise op over the kernel pool; chunk boundaries only
+/// partition disjoint output ranges, so threading never changes results.
+template <typename Fn>
+void ElementwiseParallel(int64_t size, const Fn& fn) {
+  KernelParallelFor(size, 1 << 15, fn);
+}
+
+}  // namespace
+
 void SigmoidInPlace(Tensor* x) {
   float* d = x->data();
-  for (int64_t i = 0; i < x->size(); ++i) {
-    d[i] = 1.0f / (1.0f + std::exp(-d[i]));
-  }
+  ElementwiseParallel(x->size(), [d](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+    }
+  });
 }
 
 void TanhInPlace(Tensor* x) {
   float* d = x->data();
-  for (int64_t i = 0; i < x->size(); ++i) d[i] = std::tanh(d[i]);
+  ElementwiseParallel(x->size(), [d](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) d[i] = std::tanh(d[i]);
+  });
 }
 
 void ReluInPlace(Tensor* x) {
   float* d = x->data();
-  for (int64_t i = 0; i < x->size(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  ElementwiseParallel(x->size(), [d](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  });
 }
 
 void SigmoidBackwardInPlace(const Tensor& y, Tensor* dy) {
   assert(y.SameShape(*dy));
   const float* yd = y.data();
   float* d = dy->data();
-  for (int64_t i = 0; i < y.size(); ++i) d[i] *= yd[i] * (1.0f - yd[i]);
+  ElementwiseParallel(y.size(), [yd, d](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) d[i] *= yd[i] * (1.0f - yd[i]);
+  });
 }
 
 void TanhBackwardInPlace(const Tensor& y, Tensor* dy) {
   assert(y.SameShape(*dy));
   const float* yd = y.data();
   float* d = dy->data();
-  for (int64_t i = 0; i < y.size(); ++i) d[i] *= 1.0f - yd[i] * yd[i];
+  ElementwiseParallel(y.size(), [yd, d](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) d[i] *= 1.0f - yd[i] * yd[i];
+  });
 }
 
 void ReluBackwardInPlace(const Tensor& y, Tensor* dy) {
   assert(y.SameShape(*dy));
   const float* yd = y.data();
   float* d = dy->data();
-  for (int64_t i = 0; i < y.size(); ++i) {
-    if (yd[i] <= 0.0f) d[i] = 0.0f;
-  }
+  ElementwiseParallel(y.size(), [yd, d](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (yd[i] <= 0.0f) d[i] = 0.0f;
+    }
+  });
 }
 
 void Hadamard(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -109,7 +375,9 @@ void Hadamard(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out->data();
-  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] * bd[i];
+  ElementwiseParallel(a.size(), [ad, bd, od](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) od[i] = ad[i] * bd[i];
+  });
 }
 
 void HadamardAccumulate(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -117,7 +385,9 @@ void HadamardAccumulate(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out->data();
-  for (int64_t i = 0; i < a.size(); ++i) od[i] += ad[i] * bd[i];
+  ElementwiseParallel(a.size(), [ad, bd, od](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) od[i] += ad[i] * bd[i];
+  });
 }
 
 }  // namespace los::nn

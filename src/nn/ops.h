@@ -1,24 +1,57 @@
 #ifndef LOS_NN_OPS_H_
 #define LOS_NN_OPS_H_
 
+#include <functional>
+
 #include "nn/tensor.h"
+
+namespace los {
+class ThreadPool;
+}  // namespace los
 
 namespace los::nn {
 
 /// \brief C = alpha * op(A) * op(B) + beta * C.
 ///
-/// `trans_a` / `trans_b` select whether A / B are used transposed. The
-/// implementation is a cache-friendly i-k-j loop; model dimensions in this
-/// library are small (embedding 2-32, hidden 8-256), where this is within a
-/// small factor of a tuned BLAS.
+/// `trans_a` / `trans_b` select whether A / B are used transposed. Large
+/// problems run a cache-blocked, register-tiled kernel over packed panels
+/// (both orientations of B are packed into contiguous strips) and may split
+/// row tiles across the kernel thread pool; small problems use a plain
+/// vectorized i-k-j loop. Threading only partitions disjoint rows of C, so
+/// results are bit-identical for any thread count.
 void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           float alpha, float beta, Tensor* c);
+
+/// The original single-threaded scalar GEMM kept as the correctness /
+/// performance baseline for tests and `bench_micro_kernels`.
+void GemmReference(const Tensor& a, bool trans_a, const Tensor& b,
+                   bool trans_b, float alpha, float beta, Tensor* c);
+
+/// Enables/disables use of the thread pool by all nn kernels (default on).
+/// Serial and threaded execution produce bit-identical results; the switch
+/// exists for benchmarking and for callers that manage their own outer
+/// parallelism.
+void SetKernelThreading(bool enabled);
+bool KernelThreadingEnabled();
+
+/// Overrides the pool used by the nn kernels (nullptr restores
+/// `ThreadPool::Global()`). Intended for tests that need a multi-worker pool
+/// regardless of the host's core count.
+void SetKernelThreadPool(ThreadPool* pool);
+
+/// Runs `fn(begin, end)` over [0, n), splitting across the kernel pool when
+/// threading is enabled and `n > min_chunk`; inline otherwise. `fn` must
+/// write disjoint state per index so that chunking cannot affect results.
+void KernelParallelFor(int64_t n, int64_t min_chunk,
+                       const std::function<void(int64_t, int64_t)>& fn);
 
 /// Adds row-vector `bias` (1 x d) to every row of `x` (n x d).
 void AddRowBroadcast(const Tensor& bias, Tensor* x);
 
 /// Accumulates the column sums of `x` (n x d) into `out` (1 x d):
-/// out += sum_rows(x). Used for bias gradients.
+/// out += sum_rows(x). Used for bias gradients. Always serial: it is a
+/// cross-row reduction, and chunked accumulation would change float
+/// ordering.
 void SumRowsAccumulate(const Tensor& x, Tensor* out);
 
 /// Elementwise sigmoid, writing into `x` in place.

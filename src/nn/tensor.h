@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -21,11 +22,11 @@ class Tensor {
   /// Empty 0x0 tensor.
   Tensor() : rows_(0), cols_(0) {}
 
-  /// Uninitialized-contents tensor of the given shape (values are zero).
-  Tensor(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {
+  /// Zero-initialized tensor of the given shape.
+  Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
     assert(rows >= 0 && cols >= 0);
+    assert(cols == 0 || rows <= std::numeric_limits<int64_t>::max() / cols);
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f);
   }
 
   /// Builds a tensor from explicit row-major values.

@@ -1,0 +1,295 @@
+// Tests for the parallel + SIMD compute backend: blocked GEMM equivalence
+// against the scalar reference, determinism under threading, nested
+// ParallelFor safety, and PredictBatch/PredictOne agreement for every
+// SetModel implementation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/learned_index.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "deepsets/compressed_model.h"
+#include "deepsets/deepsets_model.h"
+#include "deepsets/set_transformer.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "sets/generators.h"
+#include "sets/subset_gen.h"
+
+namespace los {
+namespace {
+
+using nn::Tensor;
+
+/// Injects a multi-worker pool into the nn kernels for the test's lifetime,
+/// so threaded code paths are exercised even on single-core CI hosts.
+class ScopedKernelPool {
+ public:
+  explicit ScopedKernelPool(size_t threads) : pool_(threads) {
+    nn::SetKernelThreadPool(&pool_);
+  }
+  ~ScopedKernelPool() { nn::SetKernelThreadPool(nullptr); }
+
+ private:
+  ThreadPool pool_;
+};
+
+// ---------- Gemm vs reference ----------
+
+struct GemmShape {
+  int64_t m, n, k;
+};
+
+TEST(GemmTest, MatchesReferenceAcrossShapesAndFlags) {
+  ScopedKernelPool pool(4);
+  // Covers the small-path (tiny m or n), the blocked path, the threaded
+  // path, tile remainders (non-multiples of 6 and 32) and k-panel splits
+  // (> 256 depth).
+  const std::vector<GemmShape> shapes = {
+      {1, 1, 1},    {3, 5, 7},       {17, 31, 13},   {64, 64, 64},
+      {1, 300, 2},  {97, 101, 103},  {130, 70, 257}, {160, 160, 160},
+      {256, 33, 300}, {257, 255, 129},
+  };
+  const std::vector<std::pair<float, float>> coeffs = {
+      {1.0f, 0.0f}, {0.5f, 1.0f}, {1.3f, 0.7f}};
+  Rng rng(11);
+  for (const auto& s : shapes) {
+    for (bool trans_a : {false, true}) {
+      for (bool trans_b : {false, true}) {
+        for (const auto& [alpha, beta] : coeffs) {
+          Tensor a(trans_a ? s.k : s.m, trans_a ? s.m : s.k);
+          Tensor b(trans_b ? s.n : s.k, trans_b ? s.k : s.n);
+          Tensor c0(s.m, s.n);
+          nn::GaussianInit(&a, 1.0f, &rng);
+          nn::GaussianInit(&b, 1.0f, &rng);
+          nn::GaussianInit(&c0, 1.0f, &rng);
+          Tensor c_new = c0;
+          Tensor c_ref = c0;
+          nn::Gemm(a, trans_a, b, trans_b, alpha, beta, &c_new);
+          nn::GemmReference(a, trans_a, b, trans_b, alpha, beta, &c_ref);
+          double max_diff = 0.0;
+          for (int64_t i = 0; i < c_new.size(); ++i) {
+            max_diff = std::max(
+                max_diff, std::abs(static_cast<double>(c_new.data()[i]) -
+                                   static_cast<double>(c_ref.data()[i])));
+          }
+          // The blocked kernel reorders float accumulation, so allow a
+          // k-scaled tolerance rather than exact equality.
+          EXPECT_LT(max_diff, 1e-3 * std::sqrt(static_cast<double>(s.k)))
+              << "m=" << s.m << " n=" << s.n << " k=" << s.k
+              << " ta=" << trans_a << " tb=" << trans_b << " alpha=" << alpha
+              << " beta=" << beta;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmTest, ThreadedIsBitIdenticalToSerial) {
+  const int64_t n = 320;  // above both the blocked and threaded cutoffs
+  Rng rng(5);
+  Tensor a(n, n), b(n, n);
+  nn::GaussianInit(&a, 1.0f, &rng);
+  nn::GaussianInit(&b, 1.0f, &rng);
+  Tensor c_serial(n, n), c_threaded(n, n);
+  nn::SetKernelThreading(false);
+  nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c_serial);
+  nn::SetKernelThreading(true);
+  {
+    ScopedKernelPool pool(4);
+    nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c_threaded);
+  }
+  ASSERT_EQ(c_serial.size(), c_threaded.size());
+  EXPECT_EQ(std::memcmp(c_serial.data(), c_threaded.data(),
+                        static_cast<size_t>(c_serial.size()) * sizeof(float)),
+            0);
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count(0);
+  pool.ParallelFor(
+      4,
+      [&](size_t outer_begin, size_t outer_end) {
+        for (size_t i = outer_begin; i < outer_end; ++i) {
+          // Nested call from a worker thread: must run inline instead of
+          // waiting on tasks the blocked workers can never execute.
+          pool.ParallelFor(
+              8, [&](size_t begin, size_t end) {
+                count += static_cast<int>(end - begin);
+              },
+              1);
+        }
+      },
+      1);
+  EXPECT_EQ(count.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, SingleWorkerNestedParallelForCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count(0);
+  pool.ParallelFor(
+      2,
+      [&](size_t outer_begin, size_t outer_end) {
+        for (size_t i = outer_begin; i < outer_end; ++i) {
+          pool.ParallelFor(4, [&](size_t begin, size_t end) {
+            count += static_cast<int>(end - begin);
+          }, 1);
+        }
+      },
+      1);
+  EXPECT_EQ(count.load(), 2 * 4);
+}
+
+// ---------- PredictBatch vs PredictOne ----------
+
+std::vector<std::vector<sets::ElementId>> RandomSets(size_t count,
+                                                     uint32_t vocab,
+                                                     Rng* rng) {
+  std::vector<std::vector<sets::ElementId>> out(count);
+  for (auto& s : out) {
+    s.resize(1 + rng->Uniform(8));
+    for (auto& e : s) e = static_cast<sets::ElementId>(rng->Uniform(vocab));
+    sets::Canonicalize(&s);
+  }
+  return out;
+}
+
+void CheckBatchMatchesOne(deepsets::SetModel* model, size_t count) {
+  Rng rng(23);
+  auto raw = RandomSets(count, static_cast<uint32_t>(model->vocab()), &rng);
+  std::vector<sets::SetView> views;
+  views.reserve(raw.size());
+  for (const auto& s : raw) views.emplace_back(s.data(), s.size());
+  std::vector<double> batched = model->PredictBatch(views);
+  ASSERT_EQ(batched.size(), views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_NEAR(batched[i], model->PredictOne(views[i]), 1e-5)
+        << model->name() << " set " << i;
+  }
+}
+
+TEST(PredictBatchTest, LsmMatchesPredictOne) {
+  ScopedKernelPool pool(4);
+  deepsets::DeepSetsConfig cfg;
+  cfg.vocab = 500;
+  cfg.embed_dim = 8;
+  cfg.phi_hidden = {32};
+  cfg.rho_hidden = {32};
+  deepsets::DeepSetsModel model(cfg);
+  // > 2048 sets so the internal sub-batch chunking is exercised too.
+  CheckBatchMatchesOne(&model, 2500);
+}
+
+TEST(PredictBatchTest, ClsmMatchesPredictOne) {
+  deepsets::CompressedConfig cfg;
+  cfg.base.vocab = 500;
+  cfg.base.embed_dim = 6;
+  cfg.base.phi_hidden = {16};
+  cfg.base.rho_hidden = {16};
+  cfg.ns = 2;
+  auto model = deepsets::CompressedDeepSetsModel::Create(cfg);
+  ASSERT_TRUE(model.ok());
+  CheckBatchMatchesOne(model->get(), 200);
+}
+
+TEST(PredictBatchTest, SetTransformerMatchesPredictOne) {
+  deepsets::SetTransformerConfig cfg;
+  cfg.vocab = 500;
+  cfg.embed_dim = 4;
+  cfg.att_dim = 8;
+  auto model = deepsets::SetTransformerModel::Create(cfg);
+  ASSERT_TRUE(model.ok());
+  CheckBatchMatchesOne(model->get(), 200);
+}
+
+TEST(PredictBatchTest, LookupBatchMatchesLookup) {
+  ScopedKernelPool pool(4);
+  sets::RwConfig gen;
+  gen.num_sets = 400;
+  gen.num_unique = 120;
+  gen.seed = 3;
+  auto collection = GenerateRw(gen);
+  core::IndexOptions opts;
+  opts.train.epochs = 5;
+  auto index = core::LearnedSetIndex::Build(collection, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  std::vector<sets::Query> queries;
+  for (size_t i = 0; i < collection.size(); i += 7) {
+    auto v = collection.set(i);
+    queries.push_back({{v.begin(), v.end()}, 0});
+  }
+  queries.push_back({{999999u}, 0});             // out-of-vocabulary element
+  queries.push_back({{1u, 2u, 3u, 4u, 5u}, 0});  // likely-absent combination
+
+  std::vector<int64_t> batch = index->LookupBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], index->Lookup(queries[i].view(), nullptr))
+        << "query " << i;
+  }
+}
+
+// ---------- Deterministic threaded training ----------
+
+std::vector<float> TrainAndDumpWeights() {
+  sets::RwConfig gen;
+  gen.num_sets = 120;
+  gen.num_unique = 150;
+  gen.seed = 9;
+  auto collection = GenerateRw(gen);
+  auto subsets = EnumerateLabeledSubsets(collection, {});
+  core::TargetScaler scaler =
+      core::TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+  core::TrainingSet data = core::TrainingSet::FromSubsets(
+      subsets, sets::QueryLabel::kCardinality, scaler);
+
+  deepsets::DeepSetsConfig cfg;
+  cfg.vocab = static_cast<int64_t>(collection.universe_size());
+  cfg.embed_dim = 16;
+  cfg.phi_hidden = {64};
+  cfg.rho_hidden = {64};
+  cfg.seed = 1;
+  deepsets::DeepSetsModel model(cfg);
+
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 64;
+  tc.seed = 2;
+  core::Trainer trainer(tc);
+  trainer.Train(&model, data);
+
+  std::vector<nn::Parameter*> params;
+  model.CollectParameters(&params);
+  std::vector<float> weights;
+  for (const auto* p : params) {
+    const float* d = p->value.data();
+    weights.insert(weights.end(), d, d + p->value.size());
+  }
+  return weights;
+}
+
+TEST(DeterminismTest, ThreadedTrainingReproducesWeightsBitExact) {
+  ScopedKernelPool pool(4);
+  std::vector<float> run1 = TrainAndDumpWeights();
+  std::vector<float> run2 = TrainAndDumpWeights();
+  ASSERT_EQ(run1.size(), run2.size());
+  ASSERT_FALSE(run1.empty());
+  EXPECT_EQ(std::memcmp(run1.data(), run2.data(),
+                        run1.size() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace los
