@@ -1,7 +1,5 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
-
 namespace los {
 
 namespace {
@@ -69,7 +67,13 @@ void ThreadPool::ParallelFor(size_t n,
     fn(0, n);
     return;
   }
-  std::atomic<size_t> remaining(num_chunks);
+  // `remaining`, the decrement, and the final notify are all kept under
+  // done_mu: the caller can only observe remaining == 0 (and destroy this
+  // stack frame) after the last worker has released the lock, at which
+  // point that worker no longer touches any of this state. A lock-free
+  // decrement would let a spurious wakeup race the worker between its
+  // fetch_sub and taking the lock, destroying the mutex under it.
+  size_t remaining = num_chunks;
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t chunk = (n + num_chunks - 1) / num_chunks;
@@ -78,14 +82,12 @@ void ThreadPool::ParallelFor(size_t n,
     size_t end = std::min(n, begin + chunk);
     Submit([&, begin, end] {
       fn(begin, end);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 ThreadPool* ThreadPool::Global() {

@@ -7,6 +7,23 @@
 
 namespace los::core {
 
+namespace {
+
+// Safety margin for backup-filter membership. The no-false-negative
+// guarantee requires that any positive accepted here on its model score is
+// also accepted at serve time, but serve-time scores can come from a
+// differently shaped forward pass (MayContain's single-set PredictOne vs
+// the batched pass used below). The GEMM kernels keep per-row results
+// bit-identical across shapes within one binary, so in-process the margin
+// is not needed; it additionally absorbs cross-binary drift (e.g. a filter
+// built with FMA/native ISA, saved, and served by a portable build). BCE
+// training concentrates hard positives right at the threshold, so this is
+// exactly where the insurance matters; the cost is a slightly larger
+// backup filter.
+constexpr double kThresholdMargin = 1e-4;
+
+}  // namespace
+
 Result<LearnedBloomFilter> LearnedBloomFilter::Build(
     const sets::SetCollection& collection, const BloomOptions& opts,
     const std::function<bool(sets::SetView)>* contains) {
@@ -51,14 +68,19 @@ Result<LearnedBloomFilter> LearnedBloomFilter::Build(
   trainer.Train(lbf.model_.get(), data);
 
   // Backup filter over the model's false negatives — restores the classic
-  // guarantee of no false negatives for the indexed subsets.
+  // guarantee of no false negatives for the indexed subsets. Any positive
+  // within kThresholdMargin of the threshold also goes in, so the guarantee
+  // survives serve-time scores that differ marginally from these batched
+  // build-time scores.
   std::vector<size_t> pos_idx(positives.size());
   for (size_t i = 0; i < positives.size(); ++i) pos_idx[i] = i;
   std::vector<double> probs = trainer.PredictScaled(lbf.model_.get(), data,
                                                     pos_idx);
   std::vector<size_t> false_negatives;
   for (size_t i = 0; i < pos_idx.size(); ++i) {
-    if (probs[i] < lbf.threshold_) false_negatives.push_back(pos_idx[i]);
+    if (probs[i] < lbf.threshold_ + kThresholdMargin) {
+      false_negatives.push_back(pos_idx[i]);
+    }
   }
   lbf.backup_ = baselines::BloomFilter(
       std::max<size_t>(false_negatives.size(), 1), opts.backup_fp_rate);

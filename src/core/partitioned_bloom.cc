@@ -9,6 +9,18 @@
 
 namespace los::core {
 
+namespace {
+
+// Region-assignment safety margin, mirroring learned_bloom.cc: serve-time
+// scores come from PredictOne while build-time scores are batched, and a
+// positive landing marginally across a region boundary at serve time would
+// probe a backup filter it was never inserted into — a false negative. The
+// GEMM kernels keep the two paths bit-identical within one binary; the
+// margin additionally covers cross-binary drift after Save/Load.
+constexpr double kScoreMargin = 1e-4;
+
+}  // namespace
+
 Result<PartitionedBloomFilter> PartitionedBloomFilter::Build(
     const sets::SetCollection& collection,
     const PartitionedBloomOptions& opts) {
@@ -61,13 +73,18 @@ Result<PartitionedBloomFilter> PartitionedBloomFilter::Build(
   }
 
   // One backup per non-top region, holding the positives that scored there
-  // (the top region accepts on score alone).
+  // (the top region accepts on score alone). Each positive is inserted into
+  // every region its score could reach within ±kScoreMargin, so a serve-time
+  // score that drifts marginally across a boundary still finds its subset.
   std::vector<std::vector<size_t>> members(
       static_cast<size_t>(regions) - 1);
   for (size_t i = 0; i < scores.size(); ++i) {
-    size_t region = pbf.RegionOf(scores[i]);
-    if (region + 1 < static_cast<size_t>(regions)) {
-      members[region].push_back(i);
+    size_t lo = pbf.RegionOf(scores[i] - kScoreMargin);
+    size_t hi = pbf.RegionOf(scores[i] + kScoreMargin);
+    for (size_t region = lo; region <= hi; ++region) {
+      if (region + 1 < static_cast<size_t>(regions)) {
+        members[region].push_back(i);
+      }
     }
   }
   pbf.backups_.reserve(members.size());

@@ -1,6 +1,7 @@
 #include "nn/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -42,11 +43,15 @@ constexpr int64_t kBlockedMinWork = 32 * 32 * 32;
 constexpr int64_t kRowTilesPerChunk = 16;
 constexpr int64_t kThreadedCutoff = 256 * 256 * 64;
 
-bool g_kernel_threading = true;
-ThreadPool* g_kernel_pool = nullptr;  // nullptr -> ThreadPool::Global()
+// Atomics so the setters can race with in-flight kernels without UB; the
+// kernels only need to see *some* consistent value, so relaxed ordering (a
+// plain load on every relevant ISA) suffices.
+std::atomic<bool> g_kernel_threading{true};
+std::atomic<ThreadPool*> g_kernel_pool{nullptr};  // nullptr -> Global()
 
 ThreadPool* KernelPool() {
-  return g_kernel_pool != nullptr ? g_kernel_pool : ThreadPool::Global();
+  ThreadPool* pool = g_kernel_pool.load(std::memory_order_relaxed);
+  return pool != nullptr ? pool : ThreadPool::Global();
 }
 
 /// op(A)(i, kk) for the packing routines.
@@ -133,6 +138,14 @@ void GemmSmall(const float* ad, int64_t a_cols, bool trans_a, const float* bd,
 /// One parallel chunk of the blocked kernel: row tiles [tile_begin,
 /// tile_end) against the already-packed `bp` panel. Each chunk writes a
 /// disjoint set of C rows, so chunking never changes results.
+///
+/// The register tile is seeded from C and written back (rather than zeroed
+/// and added): per element the additions then happen in strictly increasing
+/// k order across kKc panels — the exact order GemmSmall uses — so a row's
+/// result is bit-identical whichever kernel and whatever blocking handles
+/// it. The learned structures rely on this: batched and single-query
+/// forwards must agree exactly (see LearnedBloomFilter's no-false-negative
+/// guarantee).
 void RowTileRange(const float* ad, int64_t a_cols, bool trans_a, float alpha,
                   int64_t m, int64_t n, const float* bp, int64_t pc,
                   int64_t kc, int64_t jc, int64_t nc, float* cd,
@@ -145,12 +158,21 @@ void RowTileRange(const float* ad, int64_t a_cols, bool trans_a, float alpha,
     PackA(ad, a_cols, trans_a, alpha, i0, mr, pc, kc, ap);
     for (int64_t js = 0; js < nc; js += kNr) {
       const int64_t nr = std::min(kNr, nc - js);
-      std::memset(acc, 0, sizeof(acc));
+      for (int64_t i = 0; i < mr; ++i) {
+        const float* crow = cd + (i0 + i) * n + jc + js;
+        float* arow = acc + i * kNr;
+        for (int64_t j = 0; j < nr; ++j) arow[j] = crow[j];
+        for (int64_t j = nr; j < kNr; ++j) arow[j] = 0.0f;
+      }
+      if (mr < kMr) {
+        std::memset(acc + mr * kNr, 0,
+                    static_cast<size_t>((kMr - mr) * kNr) * sizeof(float));
+      }
       MicroKernel(kc, ap, bp + js * kKc, acc);
       for (int64_t i = 0; i < mr; ++i) {
         float* crow = cd + (i0 + i) * n + jc + js;
         const float* arow = acc + i * kNr;
-        for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+        for (int64_t j = 0; j < nr; ++j) crow[j] = arow[j];
       }
     }
   }
@@ -158,16 +180,22 @@ void RowTileRange(const float* ad, int64_t a_cols, bool trans_a, float alpha,
 
 }  // namespace
 
-void SetKernelThreading(bool enabled) { g_kernel_threading = enabled; }
+void SetKernelThreading(bool enabled) {
+  g_kernel_threading.store(enabled, std::memory_order_relaxed);
+}
 
-bool KernelThreadingEnabled() { return g_kernel_threading; }
+bool KernelThreadingEnabled() {
+  return g_kernel_threading.load(std::memory_order_relaxed);
+}
 
-void SetKernelThreadPool(ThreadPool* pool) { g_kernel_pool = pool; }
+void SetKernelThreadPool(ThreadPool* pool) {
+  g_kernel_pool.store(pool, std::memory_order_relaxed);
+}
 
 void KernelParallelFor(int64_t n, int64_t min_chunk,
                        const std::function<void(int64_t, int64_t)>& fn) {
   if (n <= 0) return;
-  if (!g_kernel_threading || n <= min_chunk) {
+  if (!KernelThreadingEnabled() || n <= min_chunk) {
     fn(0, n);
     return;
   }
@@ -209,7 +237,7 @@ void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   }
 
   const int64_t row_tiles = (m + kMr - 1) / kMr;
-  const bool threaded = g_kernel_threading && work >= kThreadedCutoff &&
+  const bool threaded = KernelThreadingEnabled() && work >= kThreadedCutoff &&
                         row_tiles > kRowTilesPerChunk;
   // Packing scratch, reused across calls so mid-size GEMMs (one panel) pay
   // no allocation. Strips are laid out at a fixed kKc depth stride, so the

@@ -18,7 +18,12 @@ namespace los::nn {
 /// (both orientations of B are packed into contiguous strips) and may split
 /// row tiles across the kernel thread pool; small problems use a plain
 /// vectorized i-k-j loop. Threading only partitions disjoint rows of C, so
-/// results are bit-identical for any thread count.
+/// results are bit-identical for any thread count. Moreover every path
+/// accumulates each output element in strictly increasing k order, so a
+/// row's result is bit-identical regardless of which kernel or blocking the
+/// problem shape selects — batched and single-row calls over the same data
+/// agree exactly (the learned structures' batch/serve consistency depends
+/// on this; see GemmTest.PerRowResultsAreShapeInvariant).
 void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
           float alpha, float beta, Tensor* c);
 
@@ -30,13 +35,17 @@ void GemmReference(const Tensor& a, bool trans_a, const Tensor& b,
 /// Enables/disables use of the thread pool by all nn kernels (default on).
 /// Serial and threaded execution produce bit-identical results; the switch
 /// exists for benchmarking and for callers that manage their own outer
-/// parallelism.
+/// parallelism. Safe to call concurrently with running kernels (the flag is
+/// atomic), though kernels already in flight may finish under the old
+/// setting.
 void SetKernelThreading(bool enabled);
 bool KernelThreadingEnabled();
 
 /// Overrides the pool used by the nn kernels (nullptr restores
 /// `ThreadPool::Global()`). Intended for tests that need a multi-worker pool
-/// regardless of the host's core count.
+/// regardless of the host's core count. The pointer is stored atomically,
+/// but the caller must keep the pool alive until every kernel that might
+/// have observed it has returned.
 void SetKernelThreadPool(ThreadPool* pool);
 
 /// Runs `fn(begin, end)` over [0, n), splitting across the kernel pool when

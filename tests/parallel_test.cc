@@ -113,6 +113,42 @@ TEST(GemmTest, ThreadedIsBitIdenticalToSerial) {
             0);
 }
 
+TEST(GemmTest, PerRowResultsAreShapeInvariant) {
+  ScopedKernelPool pool(4);
+  // Batched and single-query forwards put the same logical row through very
+  // different GEMM shapes (blocked/threaded vs the tiny small-path kernel).
+  // Build/serve consistency of the learned structures — most critically the
+  // Bloom filter's no-false-negative guarantee — requires the per-row
+  // result to be bit-identical regardless of problem shape.
+  const int64_t m = 257;  // blocked + threaded
+  const int64_t k = 300;  // > kKc, so the blocked path splits k panels
+  const int64_t n = 64;
+  Rng rng(17);
+  for (bool trans_b : {false, true}) {
+    Tensor a(m, k);
+    Tensor b(trans_b ? n : k, trans_b ? k : n);
+    Tensor c0(m, n);
+    nn::GaussianInit(&a, 1.0f, &rng);
+    nn::GaussianInit(&b, 1.0f, &rng);
+    nn::GaussianInit(&c0, 1.0f, &rng);
+    Tensor c_full = c0;
+    nn::Gemm(a, false, b, trans_b, 1.3f, 0.7f, &c_full);
+    for (int64_t i = 0; i < m; i += 17) {
+      Tensor a1(1, k);
+      std::memcpy(a1.data(), a.row(i),
+                  static_cast<size_t>(k) * sizeof(float));
+      Tensor c1(1, n);
+      std::memcpy(c1.data(), c0.row(i),
+                  static_cast<size_t>(n) * sizeof(float));
+      nn::Gemm(a1, false, b, trans_b, 1.3f, 0.7f, &c1);
+      EXPECT_EQ(std::memcmp(c1.data(), c_full.row(i),
+                            static_cast<size_t>(n) * sizeof(float)),
+                0)
+          << "row " << i << " trans_b=" << trans_b;
+    }
+  }
+}
+
 // ---------- ThreadPool ----------
 
 TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
@@ -174,7 +210,12 @@ void CheckBatchMatchesOne(deepsets::SetModel* model, size_t count) {
   std::vector<double> batched = model->PredictBatch(views);
   ASSERT_EQ(batched.size(), views.size());
   for (size_t i = 0; i < views.size(); ++i) {
-    EXPECT_NEAR(batched[i], model->PredictOne(views[i]), 1e-5)
+    // Exact, not approximate: the GEMM kernels accumulate each output
+    // element in the same order regardless of problem shape, so batching
+    // must not change a set's prediction at all. The learned Bloom filter's
+    // no-false-negative guarantee (backup built from batched scores, served
+    // per-query) relies on this.
+    EXPECT_EQ(batched[i], model->PredictOne(views[i]))
         << model->name() << " set " << i;
   }
 }
@@ -222,6 +263,39 @@ TEST(PredictBatchTest, LookupBatchMatchesLookup) {
   auto collection = GenerateRw(gen);
   core::IndexOptions opts;
   opts.train.epochs = 5;
+  // Strict config (also the default): no full-scan safety net, so any
+  // batch/single estimate divergence would surface as a -1 vs found
+  // mismatch here.
+  opts.fallback_full_scan = false;
+  auto index = core::LearnedSetIndex::Build(collection, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  std::vector<sets::Query> queries;
+  for (size_t i = 0; i < collection.size(); i += 7) {
+    auto v = collection.set(i);
+    queries.push_back({{v.begin(), v.end()}, 0});
+  }
+  queries.push_back({{999999u}, 0});             // out-of-vocabulary element
+  queries.push_back({{1u, 2u, 3u, 4u, 5u}, 0});  // likely-absent combination
+
+  std::vector<int64_t> batch = index->LookupBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], index->Lookup(queries[i].view(), nullptr))
+        << "query " << i;
+  }
+}
+
+TEST(PredictBatchTest, LookupBatchMatchesLookupWithFullScanFallback) {
+  ScopedKernelPool pool(4);
+  sets::RwConfig gen;
+  gen.num_sets = 400;
+  gen.num_unique = 120;
+  gen.seed = 3;
+  auto collection = GenerateRw(gen);
+  core::IndexOptions opts;
+  opts.train.epochs = 5;
+  opts.fallback_full_scan = true;
   auto index = core::LearnedSetIndex::Build(collection, opts);
   ASSERT_TRUE(index.ok()) << index.status().ToString();
 
