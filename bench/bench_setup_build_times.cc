@@ -1,18 +1,90 @@
 // §8.1 setup numbers: per-epoch training time for each task (with and
-// without compression) and creation times of the traditional competitors
-// (B+ tree, HashMap, Bloom filter).
+// without compression), creation times of the traditional competitors
+// (B+ tree, HashMap, Bloom filter), and a threaded-training sweep over
+// worker counts and batch sizes. The sweep writes machine-readable JSON
+// lines to BENCH_build_times.json in the working directory.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "baselines/bloom_filter.h"
 #include "baselines/bplus_tree.h"
 #include "baselines/hash_map_estimator.h"
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/learned_bloom.h"
+#include "core/scaling.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "deepsets/compressed_model.h"
+#include "deepsets/deepsets_model.h"
+#include "nn/ops.h"
 #include "sets/set_hash.h"
 
 using los::bench::BenchDatasets;
+
+namespace {
+
+/// Per-epoch seconds for an index-task model trained with `threads` kernel
+/// workers (0 = fully serial kernels). The model, data order and results
+/// are bit-identical across rows — only the wall clock changes.
+std::vector<double> EpochSeconds(const los::sets::LabeledSubsets& subsets,
+                                 bool compressed, int threads, int batch_size,
+                                 int epochs) {
+  std::unique_ptr<los::ThreadPool> pool;
+  if (threads <= 0) {
+    los::nn::SetKernelThreading(false);
+  } else {
+    pool = std::make_unique<los::ThreadPool>(static_cast<size_t>(threads));
+    los::nn::SetKernelThreadPool(pool.get());
+  }
+
+  auto scaler = los::core::TargetScaler::FitRange(
+      0.0, static_cast<double>(subsets.size()));
+  auto data = los::core::TrainingSet::FromSubsets(
+      subsets, los::sets::QueryLabel::kFirstPosition, scaler);
+
+  // The acceptance configuration: d=32 LSM (and its CLSM counterpart).
+  std::unique_ptr<los::deepsets::SetModel> model;
+  if (compressed) {
+    los::deepsets::CompressedConfig cfg;
+    cfg.base.vocab = 1 << 16;
+    cfg.base.embed_dim = 32;
+    cfg.base.phi_hidden = {32};
+    cfg.base.rho_hidden = {32};
+    auto m = los::deepsets::CompressedDeepSetsModel::Create(cfg);
+    if (!m.ok()) return {};
+    model = std::move(*m);
+  } else {
+    los::deepsets::DeepSetsConfig cfg;
+    cfg.vocab = 1 << 16;
+    cfg.embed_dim = 32;
+    cfg.phi_hidden = {32};
+    cfg.rho_hidden = {32};
+    model = std::make_unique<los::deepsets::DeepSetsModel>(cfg);
+  }
+
+  los::core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = batch_size;
+  tc.loss = los::core::LossKind::kMse;
+  los::core::Trainer trainer(tc);
+  auto stats = trainer.Train(model.get(), data);
+
+  los::nn::SetKernelThreading(true);
+  los::nn::SetKernelThreadPool(nullptr);
+
+  std::vector<double> seconds;
+  seconds.reserve(stats.size());
+  for (const auto& es : stats) seconds.push_back(es.seconds);
+  return seconds;
+}
+
+}  // namespace
 
 int main() {
   los::bench::Banner("Setup: training s/epoch and competitor build times",
@@ -89,5 +161,67 @@ int main() {
   std::printf("\nExpected shape (paper Sec. 8.1): compression reduces "
               "seconds/epoch on the larger datasets; competitors build in "
               "seconds while models take epochs x s/epoch.\n");
+
+  // ---- Threaded-training sweep -------------------------------------------
+  // Epochs/s for the d=32 index model across kernel worker counts and batch
+  // sizes. Training is bit-deterministic, so every row computes the same
+  // weights — the sweep isolates wall-clock. JSON lines also land in
+  // BENCH_build_times.json for downstream tooling.
+  std::printf("\nThreaded training sweep (LSM index model, embed_dim=32; "
+              "host cores: %u):\n", std::thread::hardware_concurrency());
+  std::FILE* json = std::fopen("BENCH_build_times.json", "w");
+  auto sweep_data = BenchDatasets(false);
+  auto sweep_subsets = EnumerateLabeledSubsets(
+      sweep_data.front().collection, los::bench::BenchSubsetOptions());
+  const int kSweepEpochs = los::bench::EnvEpochs(3);
+  const int kThreadCounts[] = {0, 1, 2, 4, 8};  // 0 = serial kernels
+  const int kBatchSizes[] = {64, 256, 1024};
+  double serial_b256 = -1.0, eight_b256 = -1.0;
+  for (int threads : kThreadCounts) {
+    for (int batch : kBatchSizes) {
+      los::bench::JsonRecord r("index_train_epoch");
+      for (double s : EpochSeconds(sweep_subsets, /*compressed=*/false,
+                                   threads, batch, kSweepEpochs)) {
+        r.Add(s);
+      }
+      double eps = r.Median() > 0.0 ? 1.0 / r.Median() : -1.0;
+      if (batch == 256 && threads == 0) serial_b256 = eps;
+      if (batch == 256 && threads == 8) eight_b256 = eps;
+      r.Set("model", "LSM")
+          .Set("embed_dim", 32)
+          .Set("threads", threads)
+          .Set("batch", batch)
+          .Set("epochs_per_s", eps)
+          .Print(json);
+    }
+  }
+  // CLSM counterpart at the acceptance batch size.
+  for (int threads : {0, 8}) {
+    los::bench::JsonRecord r("index_train_epoch");
+    for (double s : EpochSeconds(sweep_subsets, /*compressed=*/true, threads,
+                                 256, kSweepEpochs)) {
+      r.Add(s);
+    }
+    r.Set("model", "CLSM")
+        .Set("embed_dim", 32)
+        .Set("threads", threads)
+        .Set("batch", 256)
+        .Set("epochs_per_s", r.Median() > 0.0 ? 1.0 / r.Median() : -1.0)
+        .Print(json);
+  }
+  if (serial_b256 > 0.0 && eight_b256 > 0.0) {
+    los::bench::JsonRecord("index_train_speedup_8t")
+        .Set("model", "LSM")
+        .Set("embed_dim", 32)
+        .Set("batch", 256)
+        .Set("host_cores",
+             static_cast<int64_t>(std::thread::hardware_concurrency()))
+        .Set("speedup", eight_b256 / serial_b256)
+        .Print(json);
+  }
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("wrote BENCH_build_times.json\n");
+  }
   return 0;
 }

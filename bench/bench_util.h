@@ -7,9 +7,11 @@
 // the LOS_SCALE environment variable (e.g. LOS_SCALE=10 approaches the
 // paper's sizes). LOS_EPOCHS overrides the per-model training epochs.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/learned_cardinality.h"
@@ -129,6 +131,87 @@ inline core::IndexOptions IndexPreset(bool compressed, bool hybrid,
   opts.error_range_length = 100.0;
   return opts;
 }
+
+/// One benchmark measurement as a machine-readable single-line JSON
+/// record: a bench name, free-form config key/values, and the median and
+/// 95th percentile of the accumulated timing samples:
+///
+///   {"bench":"index_train_epoch","threads":8,"batch":256,
+///    "median_s":0.41,"p95_s":0.44,"samples":3}
+///
+/// Lines print to stdout (greppable by `"bench"`) and append verbatim to
+/// any FILE* handed to Print, so sweeps can tee into a .json file.
+class JsonRecord {
+ public:
+  explicit JsonRecord(std::string bench) : bench_(std::move(bench)) {}
+
+  JsonRecord& Set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonRecord& Set(const std::string& key, size_t value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+
+  /// Adds one timing sample (seconds).
+  JsonRecord& Add(double seconds) {
+    samples_.push_back(seconds);
+    return *this;
+  }
+
+  double Median() const { return Percentile(0.5); }
+  double P95() const { return Percentile(0.95); }
+
+  /// The single-line JSON encoding (no trailing newline).
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"" + bench_ + "\"";
+    for (const auto& [key, value] : fields_) {
+      out += ",\"" + key + "\":" + value;
+    }
+    if (!samples_.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"median_s\":%.6g,\"p95_s\":%.6g,\"samples\":%zu",
+                    Median(), P95(), samples_.size());
+      out += buf;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Prints the record to stdout and, if given, appends it to `sink`.
+  void Print(std::FILE* sink = nullptr) const {
+    std::string line = ToJson();
+    std::printf("%s\n", line.c_str());
+    if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
+  }
+
+ private:
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t i = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+    return sorted[std::min(i, sorted.size() - 1)];
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<double> samples_;
+};
 
 /// Prints the standard bench banner.
 inline void Banner(const char* experiment, const char* paper_ref) {

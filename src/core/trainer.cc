@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "nn/losses.h"
+#include "nn/ops.h"
 
 namespace los::core {
 
@@ -81,11 +82,10 @@ std::vector<double> Trainer::PredictScaled(
   out.reserve(idx.size());
   std::vector<sets::ElementId> ids;
   std::vector<int64_t> offsets;
-  nn::Tensor targets;
-  const size_t batch = 1024;
+  const size_t batch = static_cast<size_t>(std::max(config_.batch_size, 1));
   for (size_t begin = 0; begin < idx.size(); begin += batch) {
     size_t end = std::min(idx.size(), begin + batch);
-    data.GatherBatch(idx, begin, end, &ids, &offsets, &targets);
+    data.GatherBatch(idx, begin, end, &ids, &offsets);
     model->PredictBatchCsr(ids, offsets, &out);
   }
   return out;
@@ -107,10 +107,18 @@ GuidedResult TrainGuided(deepsets::SetModel* model, TrainingSet* data,
     if (idx.empty()) break;
     std::vector<double> preds = trainer.PredictScaled(model, *data, idx);
     std::vector<double> errors(idx.size());
-    for (size_t i = 0; i < idx.size(); ++i) {
-      double est = scaler.Unscale(preds[i]);
-      errors[i] = nn::QError(est, data->raw_target(idx[i]));
-    }
+    // Each sample's error is independent and written to its own slot, so
+    // the eviction scoring splits across the kernel pool without affecting
+    // the outlier set.
+    nn::KernelParallelFor(
+        static_cast<int64_t>(idx.size()), 2048,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            const size_t s = static_cast<size_t>(i);
+            double est = scaler.Unscale(preds[s]);
+            errors[s] = nn::QError(est, data->raw_target(idx[s]));
+          }
+        });
     // Threshold = keep_fraction percentile of the error distribution.
     std::vector<double> sorted = errors;
     std::sort(sorted.begin(), sorted.end());
@@ -138,10 +146,19 @@ double EvaluateAvgQError(deepsets::SetModel* model, const TrainingSet& data,
   if (idx.empty()) return 1.0;
   Trainer trainer(TrainConfig{});
   std::vector<double> preds = trainer.PredictScaled(model, data, idx);
+  std::vector<double> errors(idx.size());
+  nn::KernelParallelFor(
+      static_cast<int64_t>(idx.size()), 2048,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const size_t s = static_cast<size_t>(i);
+          errors[s] =
+              nn::QError(scaler.Unscale(preds[s]), data.raw_target(idx[s]));
+        }
+      });
+  // Serial in-order sum so the average does not depend on chunking.
   double total = 0.0;
-  for (size_t i = 0; i < idx.size(); ++i) {
-    total += nn::QError(scaler.Unscale(preds[i]), data.raw_target(idx[i]));
-  }
+  for (double e : errors) total += e;
   return total / static_cast<double>(idx.size());
 }
 

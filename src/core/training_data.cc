@@ -57,16 +57,25 @@ void TrainingSet::GatherBatch(const std::vector<size_t>& idx, size_t begin,
                               std::vector<sets::ElementId>* ids,
                               std::vector<int64_t>* offsets,
                               nn::Tensor* targets) const {
+  GatherBatch(idx, begin, end, ids, offsets);
+  const size_t n = end - begin;
+  targets->ResizeAndZero(static_cast<int64_t>(n), 1);
+  for (size_t k = begin; k < end; ++k) {
+    (*targets)(static_cast<int64_t>(k - begin), 0) = scaled_[idx[k]];
+  }
+}
+
+void TrainingSet::GatherBatch(const std::vector<size_t>& idx, size_t begin,
+                              size_t end,
+                              std::vector<sets::ElementId>* ids,
+                              std::vector<int64_t>* offsets) const {
   ids->clear();
   offsets->clear();
   offsets->push_back(0);
-  const size_t n = end - begin;
-  targets->ResizeAndZero(static_cast<int64_t>(n), 1);
   for (size_t k = begin; k < end; ++k) {
     sets::SetView s = subset(idx[k]);
     ids->insert(ids->end(), s.begin(), s.end());
     offsets->push_back(static_cast<int64_t>(ids->size()));
-    (*targets)(static_cast<int64_t>(k - begin), 0) = scaled_[idx[k]];
   }
 }
 

@@ -59,6 +59,13 @@ class TrainingSet {
                    std::vector<int64_t>* offsets,
                    nn::Tensor* targets) const;
 
+  /// Targets-free variant for inference-only passes (eviction scoring,
+  /// error-bound evaluation), which would otherwise copy labels they never
+  /// read.
+  void GatherBatch(const std::vector<size_t>& idx, size_t begin, size_t end,
+                   std::vector<sets::ElementId>* ids,
+                   std::vector<int64_t>* offsets) const;
+
   size_t MemoryBytes() const;
 
  private:

@@ -21,7 +21,9 @@ namespace los::deepsets {
 /// all in [0,1] via the sigmoid head — Table 1).
 ///
 /// Models are stateful across Forward/Backward: Backward refers to the most
-/// recent Forward's cached activations. Training is single-threaded.
+/// recent Forward's cached activations, so one model serves one training
+/// thread at a time; the kernels inside Forward/Backward fan out over the
+/// shared thread pool with bit-deterministic results.
 class SetModel {
  public:
   virtual ~SetModel() = default;

@@ -141,18 +141,62 @@ void Embedding::Backward(const std::vector<uint32_t>& ids,
   BackwardFrom(ids, dout, 0);
 }
 
+namespace {
+
+// Shard count and minimum gathered floats for the sharded scatter-add.
+// Sharding partitions table *rows* (id % kScatterShards), so any shard
+// count gives results bit-identical to the serial loop; the constants only
+// trade bucketing overhead against parallelism.
+constexpr uint32_t kScatterShards = 64;
+constexpr int64_t kShardedScatterMinWork = 1 << 13;
+
+}  // namespace
+
 void Embedding::BackwardFrom(const std::vector<uint32_t>& ids,
                              const Tensor& dout, int64_t col_offset) {
   const int64_t d = dim();
-  assert(dout.rows() == static_cast<int64_t>(ids.size()));
+  const size_t n = ids.size();
+  assert(dout.rows() == static_cast<int64_t>(n));
   assert(col_offset + d <= dout.cols());
-  // Serial on purpose: this is a scatter-add and duplicate ids across chunks
-  // would race (and reorder float accumulation) if parallelized naively.
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const float* src = dout.row(static_cast<int64_t>(i)) + col_offset;
-    float* dst = table_.grad.row(ids[i]);
-    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  if (static_cast<int64_t>(n) * d < kShardedScatterMinWork) {
+    for (size_t i = 0; i < n; ++i) {
+      const float* src = dout.row(static_cast<int64_t>(i)) + col_offset;
+      float* dst = table_.grad.row(ids[i]);
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    return;
   }
+  // Sharded scatter-add: bucket gathered positions by id % kScatterShards
+  // (stable counting sort), then give each worker whole shards. Shards own
+  // disjoint table rows — no atomics — and each shard visits its positions
+  // in ascending gather order, i.e. each row receives exactly the additions
+  // the serial loop would apply, in the same order. The result is therefore
+  // bit-identical to serial for any worker count.
+  static thread_local std::vector<uint32_t> start, fill, order;
+  start.assign(kScatterShards + 1, 0);
+  for (uint32_t id : ids) ++start[id % kScatterShards + 1];
+  for (uint32_t s = 0; s < kScatterShards; ++s) start[s + 1] += start[s];
+  fill.assign(start.begin(), start.end() - 1);
+  order.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[fill[ids[i] % kScatterShards]++] = static_cast<uint32_t>(i);
+  }
+  // Raw pointers: the buffers above are thread_local, and a lambda does not
+  // capture thread_local names — pool workers would resolve them to their
+  // own (empty) instances.
+  const uint32_t* const start_p = start.data();
+  const uint32_t* const order_p = order.data();
+  KernelParallelFor(kScatterShards, 8, [&](int64_t sb, int64_t se) {
+    for (int64_t s = sb; s < se; ++s) {
+      for (uint32_t u = start_p[static_cast<size_t>(s)];
+           u < start_p[static_cast<size_t>(s) + 1]; ++u) {
+        const uint32_t i = order_p[u];
+        const float* src = dout.row(static_cast<int64_t>(i)) + col_offset;
+        float* dst = table_.grad.row(ids[i]);
+        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    }
+  });
 }
 
 void Embedding::Save(BinaryWriter* w) const { table_.value.Save(w); }

@@ -39,9 +39,11 @@ constexpr int64_t kBlockedMinRows = 12;
 constexpr int64_t kBlockedMinWork = 32 * 32 * 32;
 
 // Minimum row tiles per chunk when threading a GEMM, and minimum
-// multiply-adds before threads are used at all.
+// multiply-adds before threads are used at all. The cutoff admits the
+// training-batch GEMMs (a few thousand element rows x 32-64 features);
+// kRowTilesPerChunk keeps per-chunk work large enough to amortize dispatch.
 constexpr int64_t kRowTilesPerChunk = 16;
-constexpr int64_t kThreadedCutoff = 256 * 256 * 64;
+constexpr int64_t kThreadedCutoff = 128 * 128 * 64;
 
 // Atomics so the setters can race with in-flight kernels without UB; the
 // kernels only need to see *some* consistent value, so relaxed ordering (a
@@ -324,14 +326,50 @@ void AddRowBroadcast(const Tensor& bias, Tensor* x) {
   });
 }
 
+namespace {
+
+// Rows per partial in the chunked SumRowsAccumulate reduction. The chunk
+// layout is a function of the row count alone — never of the worker count
+// or the threading flag — so the float accumulation order, and therefore
+// the result, is bit-identical for serial and any-width threaded runs.
+constexpr int64_t kSumRowsChunkRows = 256;
+
+}  // namespace
+
 void SumRowsAccumulate(const Tensor& x, Tensor* out) {
   assert(out->rows() == 1 && out->cols() == x.cols());
-  // Serial on purpose: a cross-row reduction parallelized over chunks would
-  // change the floating-point accumulation order with the chunking.
+  const int64_t rows = x.rows();
+  const int64_t cols = x.cols();
   float* o = out->data();
-  for (int64_t i = 0; i < x.rows(); ++i) {
-    const float* row = x.row(i);
-    for (int64_t j = 0; j < x.cols(); ++j) o[j] += row[j];
+  if (rows <= kSumRowsChunkRows) {
+    for (int64_t i = 0; i < rows; ++i) {
+      const float* row = x.row(i);
+      for (int64_t j = 0; j < cols; ++j) o[j] += row[j];
+    }
+    return;
+  }
+  // Cross-row reduction with fixed-shape chunking: each fixed chunk of
+  // kSumRowsChunkRows rows accumulates into its own zeroed partial (rows in
+  // ascending order), and the partials are merged into `out` in ascending
+  // chunk order. Workers only ever own whole chunks, so how chunks are
+  // distributed cannot change any accumulation order.
+  const int64_t num_chunks = (rows + kSumRowsChunkRows - 1) / kSumRowsChunkRows;
+  static thread_local std::vector<float> partials;
+  partials.assign(static_cast<size_t>(num_chunks * cols), 0.0f);
+  float* const pd = partials.data();
+  KernelParallelFor(num_chunks, 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t c = cb; c < ce; ++c) {
+      const int64_t row_end = std::min(rows, (c + 1) * kSumRowsChunkRows);
+      float* part = pd + c * cols;
+      for (int64_t i = c * kSumRowsChunkRows; i < row_end; ++i) {
+        const float* row = x.row(i);
+        for (int64_t j = 0; j < cols; ++j) part[j] += row[j];
+      }
+    }
+  });
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const float* part = pd + c * cols;
+    for (int64_t j = 0; j < cols; ++j) o[j] += part[j];
   }
 }
 
@@ -416,6 +454,51 @@ void HadamardAccumulate(const Tensor& a, const Tensor& b, Tensor* out) {
   ElementwiseParallel(a.size(), [ad, bd, od](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) od[i] += ad[i] * bd[i];
   });
+}
+
+void AdamStepFused(float alpha, float beta1, float beta2, float eps,
+                   Tensor* value, Tensor* grad, Tensor* m, Tensor* v) {
+  assert(value->SameShape(*grad) && value->SameShape(*m) &&
+         value->SameShape(*v));
+  float* __restrict wd = value->data();
+  float* __restrict gd = grad->data();
+  float* __restrict md = m->data();
+  float* __restrict vd = v->data();
+  const float omb1 = 1.0f - beta1;
+  const float omb2 = 1.0f - beta2;
+  // One fused pass: moment decay, second-moment decay, weight update and
+  // grad clear, with no per-element branches so the loop vectorizes. Every
+  // element is independent, so chunking across workers cannot change any
+  // result.
+  ElementwiseParallel(value->size(), [=](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float g = gd[i];
+      const float mi = beta1 * md[i] + omb1 * g;
+      const float vi = beta2 * vd[i] + omb2 * g * g;
+      md[i] = mi;
+      vd[i] = vi;
+      wd[i] -= alpha * mi / (std::sqrt(vi) + eps);
+      gd[i] = 0.0f;
+    }
+  });
+}
+
+void AdamStepReference(float alpha, float beta1, float beta2, float eps,
+                       Tensor* value, Tensor* grad, Tensor* m, Tensor* v) {
+  assert(value->SameShape(*grad) && value->SameShape(*m) &&
+         value->SameShape(*v));
+  float* wd = value->data();
+  float* gd = grad->data();
+  float* md = m->data();
+  float* vd = v->data();
+  const int64_t n = value->size();
+  for (int64_t i = 0; i < n; ++i) {
+    const float g = gd[i];
+    md[i] = beta1 * md[i] + (1.0f - beta1) * g;
+    vd[i] = beta2 * vd[i] + (1.0f - beta2) * g * g;
+    wd[i] -= alpha * md[i] / (std::sqrt(vd[i]) + eps);
+    gd[i] = 0.0f;
+  }
 }
 
 }  // namespace los::nn

@@ -58,10 +58,24 @@ void KernelParallelFor(int64_t n, int64_t min_chunk,
 void AddRowBroadcast(const Tensor& bias, Tensor* x);
 
 /// Accumulates the column sums of `x` (n x d) into `out` (1 x d):
-/// out += sum_rows(x). Used for bias gradients. Always serial: it is a
-/// cross-row reduction, and chunked accumulation would change float
-/// ordering.
+/// out += sum_rows(x). Used for bias gradients. Large inputs reduce through
+/// fixed 256-row partials merged in ascending chunk order; the chunk layout
+/// depends only on the row count, so results are bit-identical for serial
+/// execution and any worker count.
 void SumRowsAccumulate(const Tensor& x, Tensor* out);
+
+/// Fused Adam update for one parameter: in a single threaded pass computes
+/// m = beta1*m + (1-beta1)*g, v = beta2*v + (1-beta2)*g^2, subtracts
+/// alpha*m/(sqrt(v)+eps) from `value` and zeroes `grad`. `alpha` is the
+/// bias-corrected learning rate (lr * sqrt(1-beta2^t) / (1-beta1^t)).
+/// Elements are independent, so threading never changes results.
+void AdamStepFused(float alpha, float beta1, float beta2, float eps,
+                   Tensor* value, Tensor* grad, Tensor* m, Tensor* v);
+
+/// The original scalar Adam loop, kept as the correctness / performance
+/// baseline for tests and `bench_micro_kernels`.
+void AdamStepReference(float alpha, float beta1, float beta2, float eps,
+                       Tensor* value, Tensor* grad, Tensor* m, Tensor* v);
 
 /// Elementwise sigmoid, writing into `x` in place.
 void SigmoidInPlace(Tensor* x);

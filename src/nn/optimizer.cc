@@ -2,12 +2,18 @@
 
 #include <cmath>
 
+#include "nn/ops.h"
+
 namespace los::nn {
 
 void Sgd::Step(const std::vector<Parameter*>& params) {
-  for (Parameter* p : params) {
+  if (momentum_ > 0.0f && velocity_.size() < params.size()) {
+    velocity_.resize(params.size());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
     if (momentum_ > 0.0f) {
-      Tensor& vel = velocity_[p];
+      Tensor& vel = velocity_[i];
       if (!vel.SameShape(p->grad)) {
         vel.ResizeAndZero(p->grad.rows(), p->grad.cols());
       }
@@ -26,23 +32,16 @@ void Adam::Step(const std::vector<Parameter*>& params) {
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   const float alpha = lr_ * std::sqrt(bc2) / bc1;
-  for (Parameter* p : params) {
-    Moments& mo = moments_[p];
+  if (moments_.size() < params.size()) moments_.resize(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    Moments& mo = moments_[i];
     if (!mo.m.SameShape(p->grad)) {
       mo.m.ResizeAndZero(p->grad.rows(), p->grad.cols());
       mo.v.ResizeAndZero(p->grad.rows(), p->grad.cols());
     }
-    float* m = mo.m.data();
-    float* v = mo.v.data();
-    const float* g = p->grad.data();
-    float* w = p->value.data();
-    const int64_t n = p->grad.size();
-    for (int64_t i = 0; i < n; ++i) {
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
-      w[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps_);
-    }
-    p->ZeroGrad();
+    AdamStepFused(alpha, beta1_, beta2_, eps_, &p->value, &p->grad, &mo.m,
+                  &mo.v);
   }
 }
 

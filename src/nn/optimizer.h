@@ -2,10 +2,10 @@
 #define LOS_NN_OPTIMIZER_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "nn/layers.h"
+#include "nn/tensor.h"
 
 namespace los::nn {
 
@@ -13,6 +13,16 @@ namespace los::nn {
 ///
 /// Usage per step: zero grads, run backward passes (which accumulate), then
 /// `Step(params)` which consumes `grad` and updates `value`.
+///
+/// Optimizer state (momentum / Adam moments) is keyed by the parameter's
+/// *index* in `params`, not by its address: callers must pass the same
+/// parameter list, in the same order, on every step of one training run
+/// (CollectParameters yields a stable order). Index keying means state
+/// survives parameters moving in memory, and — unlike address keying — a
+/// freed-and-reallocated model cannot silently inherit another model's
+/// moments from a recycled address. Reuse across *different* models of the
+/// same shape is on the caller; the trainer creates a fresh optimizer per
+/// run.
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -39,10 +49,14 @@ class Sgd : public Optimizer {
  private:
   float lr_;
   float momentum_;
-  std::unordered_map<Parameter*, Tensor> velocity_;
+  std::vector<Tensor> velocity_;  // by parameter index
 };
 
 /// \brief Adam (Kingma & Ba) — the optimizer the paper's Keras models use.
+///
+/// The per-parameter update runs through `AdamStepFused`: one vectorized
+/// pass over m/v/value/grad, threaded over the kernel pool, bit-identical
+/// for any worker count.
 class Adam : public Optimizer {
  public:
   explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
@@ -67,7 +81,7 @@ class Adam : public Optimizer {
   float beta2_;
   float eps_;
   int64_t t_ = 0;
-  std::unordered_map<Parameter*, Moments> moments_;
+  std::vector<Moments> moments_;  // by parameter index
 };
 
 }  // namespace los::nn

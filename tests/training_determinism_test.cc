@@ -1,0 +1,363 @@
+// Determinism tests for the parallel training pipeline: the threaded
+// backward kernels (chunked SumRows reduction, sharded embedding
+// scatter-add), the fused Adam step and the guided-learning eviction pass
+// must produce bit-identical results for serial execution and any worker
+// count. These tests are the ones the TSan CI job runs — every parallel
+// code path below must also be race-free by construction.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "baselines/inverted_index.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/scaling.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "deepsets/compressed_model.h"
+#include "deepsets/deepsets_model.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "sets/generators.h"
+#include "sets/subset_gen.h"
+#include "sets/workload.h"
+
+namespace los {
+namespace {
+
+using nn::Tensor;
+
+/// Injects a multi-worker pool into the nn kernels for the scope's
+/// lifetime (worker count independent of the host's core count).
+class ScopedKernelPool {
+ public:
+  explicit ScopedKernelPool(size_t threads) : pool_(threads) {
+    nn::SetKernelThreadPool(&pool_);
+  }
+  ~ScopedKernelPool() { nn::SetKernelThreadPool(nullptr); }
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Forces fully serial kernel execution for the scope's lifetime.
+class ScopedSerialKernels {
+ public:
+  ScopedSerialKernels() { nn::SetKernelThreading(false); }
+  ~ScopedSerialKernels() { nn::SetKernelThreading(true); }
+};
+
+// ---------- Kernel-level determinism ----------
+
+TEST(SumRowsTest, ChunkedReductionInvariantAcrossWorkerCounts) {
+  Rng rng(3);
+  Tensor x(1100, 48);  // > 4 fixed chunks of 256 rows, with a remainder
+  nn::GaussianInit(&x, 1.0f, &rng);
+  Tensor base(1, 48);
+  nn::GaussianInit(&base, 1.0f, &rng);
+
+  Tensor serial = base;
+  {
+    ScopedSerialKernels off;
+    nn::SumRowsAccumulate(x, &serial);
+  }
+  for (size_t workers : {1u, 2u, 8u}) {
+    ScopedKernelPool pool(workers);
+    Tensor threaded = base;
+    nn::SumRowsAccumulate(x, &threaded);
+    EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                          static_cast<size_t>(serial.size()) * sizeof(float)),
+              0)
+        << workers << " workers";
+  }
+}
+
+TEST(EmbeddingScatterTest, ShardedScatterAddIsBitIdenticalToNaiveLoop) {
+  const int64_t vocab = 300;
+  const int64_t dim = 16;
+  const size_t n = 2048;  // n * dim is above the sharded-path threshold
+  Rng rng(7);
+  std::vector<uint32_t> ids(n);
+  for (auto& id : ids) {
+    // Skewed ids so shards are uneven and many rows repeat.
+    id = static_cast<uint32_t>(rng.Uniform(static_cast<uint64_t>(vocab)) / 2);
+  }
+  Tensor dout(static_cast<int64_t>(n), dim);
+  nn::GaussianInit(&dout, 1.0f, &rng);
+
+  // Expected result: the seed's serial scatter-add order.
+  Tensor expected(vocab, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = dout.row(static_cast<int64_t>(i));
+    float* dst = expected.row(ids[i]);
+    for (int64_t j = 0; j < dim; ++j) dst[j] += src[j];
+  }
+
+  for (size_t workers : {1u, 2u, 8u}) {
+    ScopedKernelPool pool(workers);
+    Rng init_rng(7);
+    nn::Embedding embed(vocab, dim, &init_rng);
+    embed.Backward(ids, dout);
+    EXPECT_EQ(std::memcmp(expected.data(), embed.table()->grad.data(),
+                          static_cast<size_t>(expected.size()) * sizeof(float)),
+              0)
+        << workers << " workers";
+  }
+}
+
+TEST(AdamStepTest, FusedMatchesReferenceBitExact) {
+  Rng rng(11);
+  Tensor value(123, 37), grad(123, 37), m(123, 37), v(123, 37);
+  nn::GaussianInit(&value, 1.0f, &rng);
+  nn::GaussianInit(&grad, 1.0f, &rng);
+  nn::GaussianInit(&m, 0.1f, &rng);
+  // Second moments must be non-negative.
+  nn::GaussianInit(&v, 0.1f, &rng);
+  for (int64_t i = 0; i < v.size(); ++i) {
+    v.data()[i] = std::abs(v.data()[i]);
+  }
+
+  Tensor value_ref = value, grad_ref = grad, m_ref = m, v_ref = v;
+  nn::AdamStepReference(1e-3f, 0.9f, 0.999f, 1e-7f, &value_ref, &grad_ref,
+                        &m_ref, &v_ref);
+  for (size_t workers : {1u, 2u, 8u}) {
+    ScopedKernelPool pool(workers);
+    Tensor value_f = value, grad_f = grad, m_f = m, v_f = v;
+    nn::AdamStepFused(1e-3f, 0.9f, 0.999f, 1e-7f, &value_f, &grad_f, &m_f,
+                      &v_f);
+    EXPECT_EQ(std::memcmp(value_ref.data(), value_f.data(),
+                          static_cast<size_t>(value.size()) * sizeof(float)),
+              0)
+        << workers << " workers";
+    EXPECT_EQ(std::memcmp(m_ref.data(), m_f.data(),
+                          static_cast<size_t>(m.size()) * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(v_ref.data(), v_f.data(),
+                          static_cast<size_t>(v.size()) * sizeof(float)),
+              0);
+    EXPECT_EQ(grad_f.AbsMax(), 0.0f) << "fused step must zero the gradient";
+  }
+}
+
+TEST(AdamStepTest, MomentsFollowParameterIndexAcrossReallocation) {
+  // Index-keyed optimizer state: moments belong to slot i of the params
+  // vector, not to the Parameter's address. Moving the parameter to a new
+  // object mid-run must not reset (or, worse, mismatch) its moments.
+  Rng rng(13);
+  nn::Parameter a(8, 8);
+  nn::GaussianInit(&a.value, 1.0f, &rng);
+  nn::Parameter b(8, 8);
+  b.value = a.value;
+
+  auto fake_grad = [](nn::Parameter* p) { p->grad = p->value; };
+
+  nn::Adam uninterrupted(1e-2f);
+  for (int t = 0; t < 6; ++t) {
+    fake_grad(&a);
+    uninterrupted.Step({&a});
+  }
+
+  nn::Adam interrupted(1e-2f);
+  for (int t = 0; t < 3; ++t) {
+    fake_grad(&b);
+    interrupted.Step({&b});
+  }
+  auto moved = std::make_unique<nn::Parameter>();
+  moved->value = std::move(b.value);
+  moved->grad = std::move(b.grad);
+  for (int t = 0; t < 3; ++t) {
+    fake_grad(moved.get());
+    interrupted.Step({moved.get()});
+  }
+
+  EXPECT_EQ(std::memcmp(a.value.data(), moved->value.data(),
+                        static_cast<size_t>(a.value.size()) * sizeof(float)),
+            0);
+}
+
+// ---------- End-to-end training determinism ----------
+
+enum class Task { kIndex, kCardinality, kBloom };
+
+sets::SetCollection TestCollection() {
+  sets::RwConfig gen;
+  gen.num_sets = 150;
+  gen.num_unique = 160;
+  gen.seed = 21;
+  return GenerateRw(gen);
+}
+
+core::TrainingSet BuildData(Task task, const sets::SetCollection& collection,
+                            core::TargetScaler* scaler) {
+  auto subsets = EnumerateLabeledSubsets(collection, {});
+  switch (task) {
+    case Task::kIndex:
+      *scaler = core::TargetScaler::FitRange(
+          0.0, static_cast<double>(collection.size() - 1));
+      return core::TrainingSet::FromSubsets(
+          subsets, sets::QueryLabel::kFirstPosition, *scaler);
+    case Task::kCardinality:
+      *scaler = core::TargetScaler::FitRange(1.0, subsets.MaxCardinality());
+      return core::TrainingSet::FromSubsets(
+          subsets, sets::QueryLabel::kCardinality, *scaler);
+    case Task::kBloom: {
+      *scaler = core::TargetScaler::FitRange(0.0, 1.0);
+      baselines::InvertedIndex index(collection);
+      std::function<bool(sets::SetView)> contains =
+          [&index](sets::SetView q) { return index.Contains(q); };
+      Rng rng(5);
+      std::vector<sets::Query> negatives = sets::SampleNegativeQueries(
+          collection.universe_size(), 3, subsets.size(), contains, &rng);
+      return core::TrainingSet::FromMembership(subsets, negatives);
+    }
+  }
+  return core::TrainingSet();
+}
+
+core::TrainConfig TestTrainConfig(Task task) {
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  // Batch of 256 sets: enough gathered rows to cross the sharded
+  // scatter-add and chunked SumRows thresholds, so the parallel paths are
+  // the ones under test.
+  tc.batch_size = 256;
+  tc.seed = 2;
+  tc.loss = task == Task::kBloom ? core::LossKind::kBce : core::LossKind::kMse;
+  return tc;
+}
+
+std::unique_ptr<deepsets::SetModel> TestModel(
+    const sets::SetCollection& collection, bool compressed) {
+  if (compressed) {
+    deepsets::CompressedConfig cfg;
+    cfg.base.vocab = static_cast<int64_t>(collection.universe_size());
+    cfg.base.embed_dim = 16;
+    cfg.base.phi_hidden = {32};
+    cfg.base.rho_hidden = {32};
+    cfg.base.seed = 1;
+    cfg.ns = 2;
+    auto model = deepsets::CompressedDeepSetsModel::Create(cfg);
+    EXPECT_TRUE(model.ok());
+    return std::move(*model);
+  }
+  deepsets::DeepSetsConfig cfg;
+  cfg.vocab = static_cast<int64_t>(collection.universe_size());
+  cfg.embed_dim = 32;
+  cfg.phi_hidden = {32};
+  cfg.rho_hidden = {32};
+  cfg.seed = 1;
+  return std::make_unique<deepsets::DeepSetsModel>(cfg);
+}
+
+std::vector<float> DumpWeights(deepsets::SetModel* model) {
+  std::vector<nn::Parameter*> params;
+  model->CollectParameters(&params);
+  std::vector<float> weights;
+  for (const auto* p : params) {
+    const float* d = p->value.data();
+    weights.insert(weights.end(), d, d + p->value.size());
+  }
+  return weights;
+}
+
+/// Trains a fresh model on fresh data; workers == 0 means fully serial.
+std::vector<float> TrainWeights(Task task, bool compressed, size_t workers) {
+  std::unique_ptr<ScopedSerialKernels> serial;
+  std::unique_ptr<ScopedKernelPool> pool;
+  if (workers == 0) {
+    serial = std::make_unique<ScopedSerialKernels>();
+  } else {
+    pool = std::make_unique<ScopedKernelPool>(workers);
+  }
+  auto collection = TestCollection();
+  core::TargetScaler scaler;
+  core::TrainingSet data = BuildData(task, collection, &scaler);
+  auto model = TestModel(collection, compressed);
+  core::Trainer trainer(TestTrainConfig(task));
+  trainer.Train(model.get(), data);
+  return DumpWeights(model.get());
+}
+
+class TrainingDeterminismTest : public ::testing::TestWithParam<Task> {};
+
+TEST_P(TrainingDeterminismTest, WeightsBitIdenticalAcrossWorkerCounts) {
+  std::vector<float> serial = TrainWeights(GetParam(), false, 0);
+  ASSERT_FALSE(serial.empty());
+  for (size_t workers : {1u, 2u, 8u}) {
+    std::vector<float> threaded = TrainWeights(GetParam(), false, workers);
+    ASSERT_EQ(serial.size(), threaded.size());
+    EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << workers << " workers";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructureTypes, TrainingDeterminismTest,
+                         ::testing::Values(Task::kIndex, Task::kCardinality,
+                                           Task::kBloom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Task::kIndex:
+                               return "Index";
+                             case Task::kCardinality:
+                               return "Cardinality";
+                             case Task::kBloom:
+                               return "Bloom";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(TrainingDeterminismCompressedTest, ClsmWeightsBitIdenticalAcrossWorkers) {
+  std::vector<float> serial = TrainWeights(Task::kCardinality, true, 0);
+  ASSERT_FALSE(serial.empty());
+  for (size_t workers : {2u, 8u}) {
+    std::vector<float> threaded = TrainWeights(Task::kCardinality, true,
+                                               workers);
+    ASSERT_EQ(serial.size(), threaded.size());
+    EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << workers << " workers";
+  }
+}
+
+// ---------- Guided learning (outlier eviction) determinism ----------
+
+std::vector<size_t> GuidedOutliers(size_t workers) {
+  std::unique_ptr<ScopedSerialKernels> serial;
+  std::unique_ptr<ScopedKernelPool> pool;
+  if (workers == 0) {
+    serial = std::make_unique<ScopedSerialKernels>();
+  } else {
+    pool = std::make_unique<ScopedKernelPool>(workers);
+  }
+  auto collection = TestCollection();
+  core::TargetScaler scaler;
+  core::TrainingSet data = BuildData(Task::kIndex, collection, &scaler);
+  auto model = TestModel(collection, false);
+  core::GuidedConfig guided;
+  guided.train = TestTrainConfig(Task::kIndex);
+  guided.train.epochs = 2;
+  guided.rounds = 3;
+  guided.keep_fraction = 0.8;
+  core::GuidedResult res =
+      TrainGuided(model.get(), &data, scaler, guided);
+  return res.outliers;
+}
+
+TEST(GuidedDeterminismTest, EvictsIdenticalOutlierSetAtEveryWorkerCount) {
+  std::vector<size_t> serial = GuidedOutliers(0);
+  EXPECT_FALSE(serial.empty()) << "config must actually evict something";
+  for (size_t workers : {1u, 2u, 8u}) {
+    EXPECT_EQ(serial, GuidedOutliers(workers)) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace los
