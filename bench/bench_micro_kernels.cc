@@ -12,8 +12,10 @@
 #include "baselines/bloom_filter.h"
 #include "baselines/bplus_tree.h"
 #include "baselines/inverted_index.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "core/learned_cardinality.h"
 #include "deepsets/compressed_model.h"
 #include "deepsets/deepsets_model.h"
 #include "nn/init.h"
@@ -283,6 +285,87 @@ void BM_InvertedIndexCardinality(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InvertedIndexCardinality);
+
+// Raw cost of one counter increment / histogram observation on the lock-free
+// metrics hot path, plus the same ops against a disabled registry (the
+// serving structures pay the disabled cost when metrics are off at runtime).
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  los::MetricsRegistry registry;
+  registry.set_enabled(state.range(0) != 0);
+  los::Counter* c = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    c->Increment();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterIncrement)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"enabled"});
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  los::MetricsRegistry registry;
+  registry.set_enabled(state.range(0) != 0);
+  los::Histogram* h = registry.GetHistogram("bench.hist",
+                                            los::LatencyHistogramOptions());
+  double v = 1e-6;
+  for (auto _ : state) {
+    h->Observe(v);
+    v *= 1.0000001;
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"enabled"});
+
+// End-to-end instrumented serving path: cardinality Estimate() with the
+// injected registry enabled vs disabled. The gap between the two rows is
+// the total instrumentation overhead on a real query (budget: <2%).
+void BM_CardinalityEstimateMetrics(benchmark::State& state) {
+  static los::core::LearnedCardinalityEstimator* est = [] {
+    los::sets::RwConfig cfg;
+    cfg.num_sets = 2000;
+    cfg.num_unique = 500;
+    auto collection = GenerateRw(cfg);
+    los::core::CardinalityOptions opts;
+    opts.model.embed_dim = 8;
+    opts.model.phi_hidden = {32};
+    opts.model.rho_hidden = {32};
+    opts.train.epochs = 1;
+    opts.max_subset_size = 2;
+    auto built =
+        los::core::LearnedCardinalityEstimator::Build(collection, opts);
+    return built.ok()
+               ? new los::core::LearnedCardinalityEstimator(std::move(*built))
+               : nullptr;
+  }();
+  if (est == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  los::MetricsRegistry registry;
+  registry.set_enabled(state.range(0) != 0);
+  est->SetMetricsRegistry(&registry);
+  Rng rng(11);
+  std::vector<los::sets::ElementId> q(2);
+  for (auto _ : state) {
+    q[0] = static_cast<los::sets::ElementId>(rng.Uniform(500));
+    q[1] = static_cast<los::sets::ElementId>(rng.Uniform(500));
+    los::sets::Canonicalize(&q);
+    double v = est->Estimate({q.data(), q.size()});
+    benchmark::DoNotOptimize(v);
+    if (q.size() == 1) q.resize(2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CardinalityEstimateMetrics)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"enabled"});
 
 void BM_HashSetSorted(benchmark::State& state) {
   std::vector<los::sets::ElementId> s{1, 5, 99, 1024, 70000, 123456};

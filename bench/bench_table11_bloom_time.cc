@@ -28,6 +28,8 @@ int main() {
     auto queries = SamplePositiveQueries(positives, kQueries, &rng);
 
     double ms[2] = {0, 0};
+    // Reset so the attached snapshot covers exactly this dataset's queries.
+    los::MetricsRegistry::Global()->Reset();
     for (int compressed = 0; compressed < 2; ++compressed) {
       BloomOptions opts;
       opts.model.compressed = compressed != 0;
@@ -58,6 +60,12 @@ int main() {
     }
     std::printf("%-10s %10.5f %10.5f | %10.5f %10.5f %10.5f\n",
                 ds.name.c_str(), ms[0], ms[1], bf_ms[0], bf_ms[1], bf_ms[2]);
+    los::bench::JsonRecord("table11_bloom_time")
+        .Set("dataset", ds.name)
+        .Set("lsm_ms", ms[0])
+        .Set("clsm_ms", ms[1])
+        .SetMetrics(los::MetricsRegistry::Global()->Snapshot())
+        .Print();
   }
   std::printf("\nExpected shape (paper Table 11): BF ~5x faster than the "
               "models; CLSM slightly slower than LSM; tighter fp rates "

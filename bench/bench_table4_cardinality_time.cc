@@ -27,6 +27,8 @@ int main() {
 
     double ms[4] = {0, 0, 0, 0};
     int i = 0;
+    // Reset so the attached snapshot covers exactly this dataset's queries.
+    los::MetricsRegistry::Global()->Reset();
     for (bool compressed : {false, true}) {
       for (bool hybrid : {false, true}) {
         auto opts = CardinalityPreset(compressed, hybrid);
@@ -52,6 +54,15 @@ int main() {
     (void)sink;
     std::printf("%-10s %10.5f %12.5f %10.5f %12.5f %12.6f\n",
                 ds.name.c_str(), ms[0], ms[1], ms[2], ms[3], hm_ms);
+    los::bench::JsonRecord("table4_cardinality_time")
+        .Set("dataset", ds.name)
+        .Set("lsm_ms", ms[0])
+        .Set("lsm_hybrid_ms", ms[1])
+        .Set("clsm_ms", ms[2])
+        .Set("clsm_hybrid_ms", ms[3])
+        .Set("hashmap_ms", hm_ms)
+        .SetMetrics(los::MetricsRegistry::Global()->Snapshot())
+        .Print();
   }
   std::printf("\nExpected shape (paper Table 4): HashMap ~100-300x faster "
               "than the models; CLSM slightly slower than LSM (extra "

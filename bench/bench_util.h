@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
 #include "core/trainer.h"
@@ -164,6 +165,15 @@ class JsonRecord {
   }
   JsonRecord& Set(const std::string& key, size_t value) {
     return Set(key, static_cast<int64_t>(value));
+  }
+  /// Inserts `json` verbatim as the value (must already be valid JSON).
+  JsonRecord& SetRaw(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+    return *this;
+  }
+  /// Embeds a metrics snapshot (as a nested JSON object) under "metrics".
+  JsonRecord& SetMetrics(const MetricsSnapshot& snapshot) {
+    return SetRaw("metrics", snapshot.ToJsonObject());
   }
 
   /// Adds one timing sample (seconds).

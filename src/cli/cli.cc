@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "core/learned_bloom.h"
 #include "core/learned_cardinality.h"
@@ -243,7 +244,10 @@ constexpr char kUsage[] =
     "  build    --task=<cardinality|index|bloom> --input=F --output=M\n"
     "           [--compressed] [--hybrid] [--epochs=N]\n"
     "           [--max-subset-size=K] [--keep-fraction=P]\n"
-    "  query    --task=<...> --model=M --query=\"a b c\" [--query=...]\n";
+    "  query    --task=<...> --model=M --query=\"a b c\" [--query=...]\n"
+    "options:\n"
+    "  --metrics  after any command, dump serving-path metrics (one JSON\n"
+    "             object per line) collected during the run\n";
 
 }  // namespace
 
@@ -315,12 +319,23 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     out << kUsage;
     return cmd.empty() ? 1 : 0;
   }
-  if (cmd == "generate") return CmdGenerate(parser, out);
-  if (cmd == "stats") return CmdStats(parser, out);
-  if (cmd == "build") return CmdBuild(parser, out);
-  if (cmd == "query") return CmdQuery(parser, out);
-  out << "unknown command: " << cmd << "\n" << kUsage;
-  return 1;
+  int rc = -1;
+  if (cmd == "generate") {
+    rc = CmdGenerate(parser, out);
+  } else if (cmd == "stats") {
+    rc = CmdStats(parser, out);
+  } else if (cmd == "build") {
+    rc = CmdBuild(parser, out);
+  } else if (cmd == "query") {
+    rc = CmdQuery(parser, out);
+  } else {
+    out << "unknown command: " << cmd << "\n" << kUsage;
+    return 1;
+  }
+  if (parser.HasFlag("metrics")) {
+    out << MetricsRegistry::Global()->Snapshot().ToJsonLines();
+  }
+  return rc;
 }
 
 }  // namespace los::cli

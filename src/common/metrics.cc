@@ -1,0 +1,238 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace los {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, const Options& opts,
+                     const std::atomic<bool>* enabled)
+    : name_(std::move(name)), enabled_(enabled) {
+  const size_t n = std::max<size_t>(opts.num_buckets, 1);
+  const double growth = std::max(opts.growth, 1.0 + 1e-9);
+  bounds_.reserve(n);
+  double bound = opts.first_bound;
+  for (size_t i = 0; i < n; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedLatency::ScopedLatency(Histogram* h)
+    : h_(h != nullptr && h->enabled() ? h : nullptr),
+      start_(h_ != nullptr ? NowSeconds() : 0.0) {}
+
+ScopedLatency::~ScopedLatency() {
+  if (h_ != nullptr) h_->Observe(NowSeconds() - start_);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-quantile observation, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(
+    const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJsonLines() const {
+  std::string out;
+  for (const auto& c : counters) {
+    out += "{\"metric\":\"" + c.name + "\",\"type\":\"counter\",\"value\":" +
+           std::to_string(c.value) + "}\n";
+  }
+  for (const auto& g : gauges) {
+    out += "{\"metric\":\"" + g.name + "\",\"type\":\"gauge\",\"value\":" +
+           FormatDouble(g.value) + "}\n";
+  }
+  for (const auto& h : histograms) {
+    out += "{\"metric\":\"" + h.name + "\",\"type\":\"histogram\"" +
+           ",\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + FormatDouble(h.sum) +
+           ",\"mean\":" + FormatDouble(h.Mean()) +
+           ",\"min\":" + FormatDouble(h.min) +
+           ",\"max\":" + FormatDouble(h.max) +
+           ",\"p50\":" + FormatDouble(h.Percentile(0.50)) +
+           ",\"p95\":" + FormatDouble(h.Percentile(0.95)) +
+           ",\"p99\":" + FormatDouble(h.Percentile(0.99)) + "}\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJsonObject() const {
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const auto& c : counters) {
+    sep();
+    out += "\"" + c.name + "\":" + std::to_string(c.value);
+  }
+  for (const auto& g : gauges) {
+    sep();
+    out += "\"" + g.name + "\":" + FormatDouble(g.value);
+  }
+  for (const auto& h : histograms) {
+    sep();
+    out += "\"" + h.name + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + FormatDouble(h.sum) +
+           ",\"mean\":" + FormatDouble(h.Mean()) +
+           ",\"p50\":" + FormatDouble(h.Percentile(0.50)) +
+           ",\"p95\":" + FormatDouble(h.Percentile(0.95)) +
+           ",\"p99\":" + FormatDouble(h.Percentile(0.99)) +
+           ",\"min\":" + FormatDouble(h.min) +
+           ",\"max\":" + FormatDouble(h.max) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(
+                                new Counter(name, &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name,
+                      std::unique_ptr<Gauge>(new Gauge(name, &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Histogram::Options& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, opts, &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds_;
+    hs.buckets.resize(hs.bounds.size() + 1);
+    for (size_t i = 0; i < hs.buckets.size(); ++i) {
+      hs.buckets[i] = h->buckets_[i].load(std::memory_order_relaxed);
+    }
+    hs.count = h->count_.load(std::memory_order_relaxed);
+    hs.sum = h->sum_.load(std::memory_order_relaxed);
+    if (hs.count > 0) {
+      hs.min = h->min_.load(std::memory_order_relaxed);
+      hs.max = h->max_.load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (size_t i = 0; i <= h->bounds_.size(); ++i) {
+      h->buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+    h->min_.store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+    h->max_.store(-std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace los

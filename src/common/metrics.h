@@ -1,0 +1,310 @@
+#ifndef LOS_COMMON_METRICS_H_
+#define LOS_COMMON_METRICS_H_
+
+// Serving-path observability: named monotonic counters, gauges and
+// fixed-bucket histograms behind a thread-safe registry.
+//
+// Design constraints (these are serving-path instruments, not a tracing
+// framework):
+//   - The *observation* hot path (Counter::Increment, Gauge::Set,
+//     Histogram::Observe) is lock-free: relaxed std::atomic operations plus
+//     one relaxed load of the registry's enabled flag. No allocation, no
+//     hashing, no locking.
+//   - Instrument *resolution* (MetricsRegistry::GetCounter etc.) takes a
+//     mutex and may allocate; structures resolve their instruments once at
+//     build/load time and cache the pointers. Returned pointers are stable
+//     for the registry's lifetime.
+//   - A registry can be disabled at runtime (`set_enabled(false)`): every
+//     observation short-circuits on a relaxed bool load. Compiling with
+//     LOS_METRICS_DISABLED (cmake -DLOS_METRICS=OFF) removes the observation
+//     bodies entirely; `kMetricsCompiledIn` lets tests and benches check
+//     which mode they are in at compile time.
+//   - Snapshots are deterministic: instruments are stored in name-sorted
+//     order, and Snapshot() reads every atomic exactly once.
+//
+// Naming scheme (see DESIGN.md "Serving-path observability"): dotted
+// lowercase `<structure>.<event>`, e.g. `index.lookups`,
+// `bloom.backup_hits`, `cardinality.qerror`, `trainer.epoch_seconds`.
+// Counters count events; histograms named `*_seconds` hold latencies in
+// seconds, other histograms hold values (scan widths, q-errors).
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace los {
+
+#ifdef LOS_METRICS_DISABLED
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+namespace metrics_internal {
+
+/// Relaxed CAS add for pre-C++20-hardware-support atomic doubles.
+inline void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace metrics_internal
+
+class MetricsRegistry;
+
+/// \brief Monotonic event counter. Increment is lock-free and wait-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+#ifndef LOS_METRICS_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-value gauge (e.g. the most recent epoch loss).
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef LOS_METRICS_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram with exponentially growing bucket bounds.
+///
+/// Bucket i counts observations v with v <= first_bound * growth^i; one
+/// extra overflow bucket catches everything larger. The layout is fixed at
+/// creation (first GetHistogram call for the name wins), so Observe never
+/// allocates.
+class Histogram {
+ public:
+  struct Options {
+    double first_bound = 1e-7;  ///< upper bound of bucket 0 (seconds-friendly)
+    double growth = 2.0;        ///< geometric bound growth, > 1
+    size_t num_buckets = 32;    ///< bounded buckets (excl. overflow)
+  };
+
+  void Observe(double v) {
+#ifndef LOS_METRICS_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    metrics_internal::AtomicAdd(&sum_, v);
+    metrics_internal::AtomicMin(&min_, v);
+    metrics_internal::AtomicMax(&max_, v);
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// True when observations are currently recorded — lets callers skip
+  /// work that only feeds this histogram (e.g. ScopedLatency's clock reads).
+  bool enabled() const {
+    return kMetricsCompiledIn && enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, const Options& opts,
+            const std::atomic<bool>* enabled);
+
+  size_t BucketFor(double v) const {
+    // Linear scan: instrument layouts are ~32 buckets and real observations
+    // land in the first few comparisons; this beats a branchy binary search
+    // at this size and keeps Observe trivially wait-free.
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+      if (v <= bounds_[i]) return i;
+    }
+    return bounds_.size();  // overflow bucket
+  }
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;  ///< inclusive upper bounds, sorted
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// \brief Observes the enclosing scope's duration (seconds) on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* h);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* h_;
+  double start_;
+};
+
+/// Point-in-time copies of every instrument, name-sorted.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+
+  double Mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Upper bound of the bucket holding the p-quantile observation (the
+  /// overflow bucket reports the observed max).
+  double Percentile(double p) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* FindCounter(const std::string& name) const;
+  const GaugeSnapshot* FindGauge(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// One single-line JSON record per instrument, bench_util.h-style:
+  ///   {"metric":"index.lookups","type":"counter","value":42}
+  ///   {"metric":"index.scan_width","type":"histogram","count":10,...}
+  std::string ToJsonLines() const;
+
+  /// All instruments as one compact JSON object keyed by metric name —
+  /// histograms collapse to {count,sum,mean,p50,p95,p99,min,max}. Suitable
+  /// for embedding into a bench JsonRecord field.
+  std::string ToJsonObject() const;
+};
+
+/// \brief Thread-safe instrument registry.
+///
+/// `Global()` is the process-wide default every learned structure reports to;
+/// tests and multi-tenant callers can construct their own registry and
+/// inject it via the structures' `SetMetricsRegistry`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Pointers remain valid for the registry's lifetime. A name denotes
+  /// one instrument kind: asking for a counter named like an existing gauge
+  /// creates an unrelated instrument in the counter namespace.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const Histogram::Options& opts = {});
+
+  /// Deterministic point-in-time copy of all instruments (name-sorted).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument (counters/histograms to 0, gauges to 0.0).
+  /// Instrument pointers stay valid. Concurrent observations may be lost —
+  /// intended for bench/test section boundaries, not serving.
+  void Reset();
+
+  /// Runtime kill switch: while disabled, every observation is a relaxed
+  /// bool load and a branch.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  static MetricsRegistry* Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{true};
+  // std::map: stable node addresses + name-sorted iteration for free.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Preset histogram layouts used across the serving paths (documented in
+/// DESIGN.md so dashboards can rely on the bucket grid).
+inline Histogram::Options LatencyHistogramOptions() {
+  return {1e-7, 2.0, 32};  // 100ns .. ~430s
+}
+inline Histogram::Options WidthHistogramOptions() {
+  return {1.0, 2.0, 28};  // 1 .. ~268M sets
+}
+inline Histogram::Options QErrorHistogramOptions() {
+  return {1.0, 1.25, 40};  // q-error 1 .. ~7500
+}
+
+}  // namespace los
+
+#endif  // LOS_COMMON_METRICS_H_

@@ -1,16 +1,42 @@
 #include "common/serialize.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 
 namespace los {
 
+namespace {
+
+/// True when `f` is a regular file. fopen happily opens directories on
+/// POSIX, where fseek/ftell then report LONG_MAX instead of failing.
+bool IsRegularFile(std::FILE* f) {
+  struct stat st;
+  return ::fstat(::fileno(f), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
 Status BinaryWriter::WriteToFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
-  size_t written = std::fwrite(bytes_.data(), 1, bytes_.size(), f);
-  std::fclose(f);
-  if (written != bytes_.size()) {
-    return Status::IoError("short write to: " + path);
+  // Write-to-temp + rename so a crash or ENOSPC mid-write can never leave a
+  // truncated file at `path`: readers see either the old checkpoint or the
+  // complete new one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + tmp);
+  size_t written = bytes_.empty()
+                       ? 0
+                       : std::fwrite(bytes_.data(), 1, bytes_.size(), f);
+  // fflush before fclose so a short write surfaces here, not at rename time.
+  bool flushed = std::fflush(f) == 0;
+  bool closed = std::fclose(f) == 0;
+  if (written != bytes_.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to: " + path);
   }
   return Status::OK();
 }
@@ -18,11 +44,29 @@ Status BinaryWriter::WriteToFile(const std::string& path) const {
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
-  std::fseek(f, 0, SEEK_END);
+  if (!IsRegularFile(f)) {
+    std::fclose(f);
+    return Status::IoError("not a regular file: " + path);
+  }
+  // fseek/ftell fail on non-seekable files (pipes); an unchecked ftell of
+  // -1 would cast to SIZE_MAX and drive a huge alloc.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek in: " + path);
+  }
   long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot determine size of: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek in: " + path);
+  }
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  size_t read = bytes.empty()
+                    ? 0
+                    : std::fread(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
   if (read != bytes.size()) return Status::IoError("short read from: " + path);
   return BinaryReader(std::move(bytes));

@@ -39,7 +39,10 @@ class BinaryWriter {
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   size_t size() const { return bytes_.size(); }
 
-  /// Writes the accumulated buffer to a file.
+  /// Writes the accumulated buffer to a file, atomically: bytes go to
+  /// `path + ".tmp"` first and are renamed over `path` only after a clean
+  /// flush+close. A crash or full disk mid-write leaves any existing file at
+  /// `path` untouched; the stale `.tmp` is removed on failure when possible.
   Status WriteToFile(const std::string& path) const;
 
  private:

@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  kDataLoss,  ///< persisted bytes fail validation (corrupted checkpoint)
 };
 
 /// \brief Outcome of an operation: a code plus a human-readable message.
@@ -52,6 +53,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

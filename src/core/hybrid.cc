@@ -113,6 +113,20 @@ Result<LocalErrorBounds> LocalErrorBounds::Load(BinaryReader* r) {
   if (!rl.ok()) return rl.status();
   auto errs = r->ReadVector<double>();
   if (!errs.ok()) return errs.status();
+  // Validate before accepting: RangeOf divides by range_length_, and the
+  // errors widen scan windows, so corrupted bytes here silently produce
+  // garbage lookups instead of a load failure.
+  if (!std::isfinite(*mv) || !std::isfinite(*rl)) {
+    return Status::DataLoss("non-finite LocalErrorBounds header");
+  }
+  if (*rl < 1.0) {
+    return Status::DataLoss("LocalErrorBounds range_length < 1");
+  }
+  for (double e : *errs) {
+    if (!std::isfinite(e) || e < 0.0) {
+      return Status::DataLoss("corrupted LocalErrorBounds error entry");
+    }
+  }
   LocalErrorBounds b;
   b.min_val_ = *mv;
   b.range_length_ = *rl;

@@ -111,8 +111,22 @@ Result<LearnedBloomFilter> LearnedBloomFilter::Load(BinaryReader* r) {
   return lbf;
 }
 
+void LearnedBloomFilter::SetMetricsRegistry(MetricsRegistry* registry) {
+  metrics_.queries = registry->GetCounter("bloom.queries");
+  metrics_.learned_accepts = registry->GetCounter("bloom.learned_accepts");
+  metrics_.backup_hits = registry->GetCounter("bloom.backup_hits");
+  metrics_.rejects = registry->GetCounter("bloom.rejects");
+  metrics_.oov_rejects = registry->GetCounter("bloom.oov_rejects");
+  metrics_.batches = registry->GetCounter("bloom.query_batches");
+  metrics_.latency = registry->GetHistogram("bloom.query_seconds",
+                                            LatencyHistogramOptions());
+}
+
 LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
     const std::vector<sets::Query>& queries) {
+  metrics_.batches->Increment();
+  metrics_.queries->Increment(queries.size());
+  ScopedLatency timer(metrics_.latency);
   MultiResult result;
   result.verdicts.assign(queries.size(), false);
   // Partition: OOV queries are definitively absent; the rest go through
@@ -130,7 +144,10 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
         break;
       }
     }
-    if (oov) continue;
+    if (oov) {
+      metrics_.oov_rejects->Increment();
+      continue;
+    }
     model_queries.push_back(i);
     views.push_back(q);
   }
@@ -140,7 +157,14 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
     for (size_t k = 0; k < model_queries.size(); ++k) {
       size_t i = model_queries[k];
       bool verdict = preds[k] >= threshold_;
-      if (!verdict) verdict = backup_.MayContain(queries[i].view());
+      if (verdict) {
+        metrics_.learned_accepts->Increment();
+      } else if (backup_.MayContain(queries[i].view())) {
+        verdict = true;
+        metrics_.backup_hits->Increment();
+      } else {
+        metrics_.rejects->Increment();
+      }
       result.verdicts[i] = verdict;
     }
   }
@@ -153,13 +177,26 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
 }
 
 bool LearnedBloomFilter::MayContain(sets::SetView q) {
+  metrics_.queries->Increment();
+  ScopedLatency timer(metrics_.latency);
   // Elements outside the training universe cannot be in any indexed set —
   // and the model has no embedding for them.
   for (sets::ElementId e : q) {
-    if (static_cast<int64_t>(e) >= model_->vocab()) return false;
+    if (static_cast<int64_t>(e) >= model_->vocab()) {
+      metrics_.oov_rejects->Increment();
+      return false;
+    }
   }
-  if (model_->PredictOne(q) >= threshold_) return true;
-  return backup_.MayContain(q);
+  if (model_->PredictOne(q) >= threshold_) {
+    metrics_.learned_accepts->Increment();
+    return true;
+  }
+  if (backup_.MayContain(q)) {
+    metrics_.backup_hits->Increment();
+    return true;
+  }
+  metrics_.rejects->Increment();
+  return false;
 }
 
 }  // namespace los::core

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "baselines/bloom_filter.h"
+#include "common/metrics.h"
 #include "core/model_factory.h"
 #include "core/trainer.h"
 #include "core/training_data.h"
@@ -74,13 +75,32 @@ class LearnedBloomFilter {
   void Save(BinaryWriter* w) const;
   static Result<LearnedBloomFilter> Load(BinaryReader* r);
 
+  /// Re-points serving-path instrumentation (`bloom.*` metrics) at
+  /// `registry`; the default is MetricsRegistry::Global(). Must not be null.
+  void SetMetricsRegistry(MetricsRegistry* registry);
+
  private:
-  LearnedBloomFilter() : backup_(1, 0.1) {}
+  LearnedBloomFilter() : backup_(1, 0.1) {
+    SetMetricsRegistry(MetricsRegistry::Global());
+  }
+
+  /// Per-query verdict outcomes are disjoint:
+  /// learned_accepts + backup_hits + rejects + oov_rejects == queries.
+  struct Instruments {
+    Counter* queries = nullptr;          ///< bloom.queries
+    Counter* learned_accepts = nullptr;  ///< bloom.learned_accepts
+    Counter* backup_hits = nullptr;      ///< bloom.backup_hits
+    Counter* rejects = nullptr;          ///< bloom.rejects
+    Counter* oov_rejects = nullptr;      ///< bloom.oov_rejects
+    Counter* batches = nullptr;          ///< bloom.query_batches
+    Histogram* latency = nullptr;        ///< bloom.query_seconds
+  };
 
   std::unique_ptr<deepsets::SetModel> model_;
   baselines::BloomFilter backup_;
   double threshold_ = 0.5;
   double train_seconds_ = 0.0;
+  Instruments metrics_;
 };
 
 }  // namespace los::core

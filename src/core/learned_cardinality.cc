@@ -1,6 +1,7 @@
 #include "core/learned_cardinality.h"
 
 #include "common/stopwatch.h"
+#include "nn/losses.h"
 
 namespace los::core {
 
@@ -79,18 +80,46 @@ Result<LearnedCardinalityEstimator> LearnedCardinalityEstimator::Load(
   return est;
 }
 
+void LearnedCardinalityEstimator::SetMetricsRegistry(
+    MetricsRegistry* registry) {
+  metrics_.queries = registry->GetCounter("cardinality.queries");
+  metrics_.outlier_hits = registry->GetCounter("cardinality.outlier_hits");
+  metrics_.oov_queries = registry->GetCounter("cardinality.oov_queries");
+  metrics_.batches = registry->GetCounter("cardinality.estimate_batches");
+  metrics_.latency = registry->GetHistogram("cardinality.estimate_seconds",
+                                            LatencyHistogramOptions());
+  metrics_.qerror =
+      registry->GetHistogram("cardinality.qerror", QErrorHistogramOptions());
+}
+
+void LearnedCardinalityEstimator::ObserveQError(double estimate,
+                                                double truth) {
+  metrics_.qerror->Observe(nn::QError(estimate, truth));
+}
+
 double LearnedCardinalityEstimator::Estimate(sets::SetView q) {
-  if (auto exact = aux_.Get(q)) return *exact;
+  metrics_.queries->Increment();
+  ScopedLatency timer(metrics_.latency);
+  if (auto exact = aux_.Get(q)) {
+    metrics_.outlier_hits->Increment();
+    return *exact;
+  }
   // Unseen elements occur in no set, so any superset query has cardinality
   // zero; the model has no embedding for them either.
   for (sets::ElementId e : q) {
-    if (static_cast<int64_t>(e) >= model_->vocab()) return 0.0;
+    if (static_cast<int64_t>(e) >= model_->vocab()) {
+      metrics_.oov_queries->Increment();
+      return 0.0;
+    }
   }
   return scaler_.Unscale(model_->PredictOne(q));
 }
 
 std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
     const std::vector<sets::Query>& queries) {
+  metrics_.batches->Increment();
+  metrics_.queries->Increment(queries.size());
+  ScopedLatency timer(metrics_.latency);
   std::vector<double> out(queries.size(), 0.0);
   // Resolve aux hits and OOV queries first; batch the rest through
   // SetModel::PredictBatch, which bounds sub-batch sizes and reuses the
@@ -102,6 +131,7 @@ std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
     sets::SetView q = queries[i].view();
     if (auto exact = aux_.Get(q)) {
       out[i] = *exact;
+      metrics_.outlier_hits->Increment();
       continue;
     }
     bool oov = false;
@@ -111,7 +141,10 @@ std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
         break;
       }
     }
-    if (oov) continue;  // stays 0
+    if (oov) {
+      metrics_.oov_queries->Increment();
+      continue;  // stays 0
+    }
     model_queries.push_back(i);
     views.push_back(q);
   }

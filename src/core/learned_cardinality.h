@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/metrics.h"
 #include "core/hybrid.h"
 #include "core/model_factory.h"
 #include "core/scaling.h"
@@ -70,14 +71,36 @@ class LearnedCardinalityEstimator {
   void Save(BinaryWriter* w) const;
   static Result<LearnedCardinalityEstimator> Load(BinaryReader* r);
 
+  /// Records the serving-time q-error of `estimate` against a known ground
+  /// truth into the `cardinality.qerror` histogram. Callers that can verify
+  /// estimates (benches, shadow traffic, sampled audits) use this to track
+  /// accuracy drift in production — errors are only bounded if measured.
+  void ObserveQError(double estimate, double truth);
+
+  /// Re-points serving-path instrumentation (`cardinality.*` metrics) at
+  /// `registry`; the default is MetricsRegistry::Global(). Must not be null.
+  void SetMetricsRegistry(MetricsRegistry* registry);
+
  private:
-  LearnedCardinalityEstimator() = default;
+  LearnedCardinalityEstimator() {
+    SetMetricsRegistry(MetricsRegistry::Global());
+  }
+
+  struct Instruments {
+    Counter* queries = nullptr;       ///< cardinality.queries
+    Counter* outlier_hits = nullptr;  ///< cardinality.outlier_hits
+    Counter* oov_queries = nullptr;   ///< cardinality.oov_queries
+    Counter* batches = nullptr;       ///< cardinality.estimate_batches
+    Histogram* latency = nullptr;     ///< cardinality.estimate_seconds
+    Histogram* qerror = nullptr;      ///< cardinality.qerror
+  };
 
   std::unique_ptr<deepsets::SetModel> model_;
   TargetScaler scaler_;
   OutlierMap aux_;
   double train_seconds_ = 0.0;
   double final_train_qerror_ = 0.0;
+  Instruments metrics_;
 };
 
 }  // namespace los::core

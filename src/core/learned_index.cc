@@ -117,6 +117,20 @@ Result<LearnedSetIndex> LearnedSetIndex::Load(
   return index;
 }
 
+void LearnedSetIndex::SetMetricsRegistry(MetricsRegistry* registry) {
+  metrics_.lookups = registry->GetCounter("index.lookups");
+  metrics_.aux_hits = registry->GetCounter("index.aux_hits");
+  metrics_.oov_queries = registry->GetCounter("index.oov_queries");
+  metrics_.misses = registry->GetCounter("index.misses");
+  metrics_.fallback_scans = registry->GetCounter("index.fallback_scans");
+  metrics_.batches = registry->GetCounter("index.lookup_batches");
+  metrics_.absorbed = registry->GetCounter("index.subsets_absorbed");
+  metrics_.scan_width =
+      registry->GetHistogram("index.scan_width", WidthHistogramOptions());
+  metrics_.latency = registry->GetHistogram("index.lookup_seconds",
+                                            LatencyHistogramOptions());
+}
+
 int64_t LearnedSetIndex::ClampEstimate(double scaled) const {
   double est = std::round(scaler_.Unscale(scaled));
   est = std::clamp(est, 0.0, static_cast<double>(collection_->size() - 1));
@@ -128,6 +142,8 @@ int64_t LearnedSetIndex::EstimatePosition(sets::SetView q) {
 }
 
 int64_t LearnedSetIndex::LookupEqual(sets::SetView q, LookupStats* stats) {
+  metrics_.lookups->Increment();
+  ScopedLatency timer(metrics_.latency);
   // Auxiliary probe: verify exact equality at the stored position.
   auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
   if (aux_pos.has_value()) {
@@ -138,14 +154,18 @@ int64_t LearnedSetIndex::LookupEqual(sets::SetView q, LookupStats* stats) {
         stats->estimate = static_cast<int64_t>(*aux_pos);
         stats->scan_width = 0;
       }
+      metrics_.aux_hits->Increment();
       return static_cast<int64_t>(*aux_pos);
     }
   }
   for (sets::ElementId e : q) {
     if (static_cast<int64_t>(e) >= model_->vocab()) {
-      return fallback_full_scan_
-                 ? collection_->FindFirstEqual(q, 0, collection_->size())
-                 : -1;
+      metrics_.oov_queries->Increment();
+      int64_t pos = fallback_full_scan_
+                        ? collection_->FindFirstEqual(q, 0, collection_->size())
+                        : -1;
+      if (pos < 0) metrics_.misses->Increment();
+      return pos;
     }
   }
   int64_t est = EstimatePosition(q);
@@ -158,11 +178,14 @@ int64_t LearnedSetIndex::LookupEqual(sets::SetView q, LookupStats* stats) {
     stats->estimate = est;
     stats->scan_width = hi - lo;
   }
+  metrics_.scan_width->Observe(static_cast<double>(hi - lo));
   int64_t pos = collection_->FindFirstEqual(q, static_cast<size_t>(lo),
                                             static_cast<size_t>(hi));
   if (pos < 0 && fallback_full_scan_) {
+    metrics_.fallback_scans->Increment();
     pos = collection_->FindFirstEqual(q, 0, collection_->size());
   }
+  if (pos < 0) metrics_.misses->Increment();
   return pos;
 }
 
@@ -185,10 +208,13 @@ size_t LearnedSetIndex::AbsorbUpdatedSet(size_t position,
                         ++routed;
                       });
   updates_absorbed_ += routed;
+  metrics_.absorbed->Increment(routed);
   return routed;
 }
 
 int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
+  metrics_.lookups->Increment();
+  ScopedLatency timer(metrics_.latency);
   // Algorithm 2, line 2: auxiliary structure first. Hash collisions are
   // guarded by verifying containment at the stored position.
   auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
@@ -199,6 +225,7 @@ int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
       stats->estimate = static_cast<int64_t>(*aux_pos);
       stats->scan_width = 0;
     }
+    metrics_.aux_hits->Increment();
     return static_cast<int64_t>(*aux_pos);
   }
   // Elements beyond the model's vocabulary (inserted by updates after the
@@ -213,9 +240,14 @@ int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
             fallback_full_scan_ ? static_cast<int64_t>(collection_->size())
                                 : 0;
       }
+      metrics_.oov_queries->Increment();
       if (fallback_full_scan_) {
-        return collection_->FindFirstSuperset(q, 0, collection_->size());
+        metrics_.fallback_scans->Increment();
+        int64_t pos = collection_->FindFirstSuperset(q, 0, collection_->size());
+        if (pos < 0) metrics_.misses->Increment();
+        return pos;
       }
+      metrics_.misses->Increment();
       return -1;
     }
   }
@@ -235,20 +267,26 @@ int64_t LearnedSetIndex::ScanFromEstimate(sets::SetView q, int64_t est,
     stats->estimate = est;
     stats->scan_width = hi - lo;
   }
+  metrics_.scan_width->Observe(static_cast<double>(hi - lo));
   int64_t pos = collection_->FindFirstSuperset(q, static_cast<size_t>(lo),
                                                static_cast<size_t>(hi));
   if (pos >= 0) return pos;
   if (fallback_full_scan_) {
+    metrics_.fallback_scans->Increment();
     pos = collection_->FindFirstSuperset(q, 0, collection_->size());
     if (stats != nullptr) {
       stats->scan_width += static_cast<int64_t>(collection_->size());
     }
   }
+  if (pos < 0) metrics_.misses->Increment();
   return pos;
 }
 
 std::vector<int64_t> LearnedSetIndex::LookupBatch(
     const std::vector<sets::Query>& queries) {
+  metrics_.batches->Increment();
+  metrics_.lookups->Increment(queries.size());
+  ScopedLatency timer(metrics_.latency);
   std::vector<int64_t> results(queries.size(), -1);
   // Stage 1: resolve auxiliary hits and out-of-vocabulary queries; everything
   // else is deferred to one batched model pass.
@@ -261,6 +299,7 @@ std::vector<int64_t> LearnedSetIndex::LookupBatch(
     if (aux_pos.has_value() &&
         collection_->SetContainsSorted(static_cast<size_t>(*aux_pos), q)) {
       results[i] = static_cast<int64_t>(*aux_pos);
+      metrics_.aux_hits->Increment();
       continue;
     }
     bool oov = false;
@@ -271,10 +310,13 @@ std::vector<int64_t> LearnedSetIndex::LookupBatch(
       }
     }
     if (oov) {
-      results[i] = fallback_full_scan_
-                       ? collection_->FindFirstSuperset(q, 0,
-                                                        collection_->size())
-                       : -1;
+      metrics_.oov_queries->Increment();
+      if (fallback_full_scan_) {
+        metrics_.fallback_scans->Increment();
+        results[i] =
+            collection_->FindFirstSuperset(q, 0, collection_->size());
+      }
+      if (results[i] < 0) metrics_.misses->Increment();
       continue;
     }
     deferred.push_back(i);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "baselines/bplus_tree.h"
+#include "common/metrics.h"
 #include "core/hybrid.h"
 #include "core/model_factory.h"
 #include "core/scaling.h"
@@ -105,8 +106,27 @@ class LearnedSetIndex {
   static Result<LearnedSetIndex> Load(BinaryReader* r,
                                       const sets::SetCollection& collection);
 
+  /// Re-points serving-path instrumentation (`index.*` metrics) at
+  /// `registry`; the default is MetricsRegistry::Global(). Must not be null.
+  void SetMetricsRegistry(MetricsRegistry* registry);
+
  private:
-  LearnedSetIndex() : aux_(100) {}
+  LearnedSetIndex() : aux_(100) {
+    SetMetricsRegistry(MetricsRegistry::Global());
+  }
+
+  /// Cached instrument handles (resolution locks; observation does not).
+  struct Instruments {
+    Counter* lookups = nullptr;         ///< index.lookups
+    Counter* aux_hits = nullptr;        ///< index.aux_hits
+    Counter* oov_queries = nullptr;     ///< index.oov_queries
+    Counter* misses = nullptr;          ///< index.misses
+    Counter* fallback_scans = nullptr;  ///< index.fallback_scans
+    Counter* batches = nullptr;         ///< index.lookup_batches
+    Counter* absorbed = nullptr;        ///< index.subsets_absorbed
+    Histogram* scan_width = nullptr;    ///< index.scan_width
+    Histogram* latency = nullptr;       ///< index.lookup_seconds
+  };
 
   /// Converts a scaled model output into a clamped position estimate.
   int64_t ClampEstimate(double scaled) const;
@@ -126,6 +146,7 @@ class LearnedSetIndex {
   double train_seconds_ = 0.0;
   double final_train_qerror_ = 0.0;
   double final_train_abs_error_ = 0.0;
+  Instruments metrics_;
 };
 
 }  // namespace los::core

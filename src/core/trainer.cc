@@ -29,7 +29,18 @@ double ComputeLoss(LossKind kind, const nn::Tensor& pred,
 
 }  // namespace
 
-Trainer::Trainer(const TrainConfig& config) : config_(config) {}
+Trainer::Trainer(const TrainConfig& config) : config_(config) {
+  SetMetricsRegistry(MetricsRegistry::Global());
+}
+
+void Trainer::SetMetricsRegistry(MetricsRegistry* registry) {
+  metrics_.epochs = registry->GetCounter("trainer.epochs");
+  metrics_.epoch_seconds = registry->GetHistogram(
+      "trainer.epoch_seconds", LatencyHistogramOptions());
+  metrics_.epoch_loss =
+      registry->GetHistogram("trainer.epoch_loss", QErrorHistogramOptions());
+  metrics_.last_loss = registry->GetGauge("trainer.last_epoch_loss");
+}
 
 std::vector<EpochStats> Trainer::Train(deepsets::SetModel* model,
                                        const TrainingSet& data) {
@@ -67,6 +78,10 @@ std::vector<EpochStats> Trainer::Train(deepsets::SetModel* model,
     es.loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
     es.seconds = sw.ElapsedSeconds();
     stats.push_back(es);
+    metrics_.epochs->Increment();
+    metrics_.epoch_seconds->Observe(es.seconds);
+    metrics_.epoch_loss->Observe(es.loss);
+    metrics_.last_loss->Set(es.loss);
     if (config_.verbose_every > 0 && (epoch + 1) % config_.verbose_every == 0) {
       std::printf("  epoch %3d  loss %.6f  (%.2fs, %zu samples)\n", epoch + 1,
                   es.loss, es.seconds, idx.size());
@@ -128,15 +143,23 @@ GuidedResult TrainGuided(deepsets::SetModel* model, TrainingSet* data,
     if (cut >= sorted.size()) cut = sorted.size() - 1;
     double threshold =
         std::max(sorted[cut], config.min_evict_qerror);
+    size_t evicted = 0;
     for (size_t i = 0; i < idx.size(); ++i) {
       if (errors[i] > threshold) {
         data->Deactivate(idx[i]);
         result.outliers.push_back(idx[i]);
+        ++evicted;
       }
     }
+    MetricsRegistry::Global()
+        ->GetCounter("trainer.outliers_evicted")
+        ->Increment(evicted);
   }
   result.final_avg_qerror =
       EvaluateAvgQError(model, *data, scaler, data->ActiveIndices());
+  MetricsRegistry::Global()
+      ->GetGauge("trainer.final_avg_qerror")
+      ->Set(result.final_avg_qerror);
   return result;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/scaling.h"
 #include "core/training_data.h"
 #include "deepsets/set_model.h"
@@ -47,8 +48,20 @@ class Trainer {
 
   const TrainConfig& config() const { return config_; }
 
+  /// Re-points training instrumentation (`trainer.*` metrics) at
+  /// `registry`; the default is MetricsRegistry::Global(). Must not be null.
+  void SetMetricsRegistry(MetricsRegistry* registry);
+
  private:
+  struct Instruments {
+    Counter* epochs = nullptr;          ///< trainer.epochs
+    Histogram* epoch_seconds = nullptr; ///< trainer.epoch_seconds
+    Histogram* epoch_loss = nullptr;    ///< trainer.epoch_loss
+    Gauge* last_loss = nullptr;         ///< trainer.last_epoch_loss
+  };
+
   TrainConfig config_;
+  Instruments metrics_;
 };
 
 /// Guided-learning (outlier-removal) configuration — §6.

@@ -11,12 +11,29 @@ Result<UpdatableIndex> UpdatableIndex::Build(
   return wrapper;
 }
 
+void UpdatableIndex::ResolveInstruments(MetricsRegistry* registry) {
+  metrics_.updates = registry->GetCounter("updatable.updates_applied");
+  metrics_.absorbed = registry->GetCounter("updatable.subsets_absorbed");
+  metrics_.rebuilds = registry->GetCounter("updatable.rebuilds");
+  metrics_.needs_rebuild =
+      registry->GetGauge("updatable.rebuild_recommended");
+}
+
+void UpdatableIndex::SetMetricsRegistry(MetricsRegistry* registry) {
+  ResolveInstruments(registry);
+  if (index_ != nullptr) index_->SetMetricsRegistry(registry);
+}
+
 Status UpdatableIndex::Update(size_t position,
                               std::vector<sets::ElementId> new_elements) {
   LOS_RETURN_NOT_OK(
       collection_->UpdateSet(position, std::move(new_elements)));
-  index_->AbsorbUpdatedSet(position, opts_.index.max_subset_size);
+  size_t routed =
+      index_->AbsorbUpdatedSet(position, opts_.index.max_subset_size);
   ++updates_applied_;
+  metrics_.updates->Increment();
+  metrics_.absorbed->Increment(routed);
+  metrics_.needs_rebuild->Set(NeedsRebuild() ? 1.0 : 0.0);
   return Status::OK();
 }
 
@@ -29,6 +46,8 @@ Status UpdatableIndex::Rebuild() {
   auto index = LearnedSetIndex::Build(*collection_, opts_.index);
   if (!index.ok()) return index.status();
   index_ = std::make_unique<LearnedSetIndex>(std::move(*index));
+  metrics_.rebuilds->Increment();
+  metrics_.needs_rebuild->Set(0.0);
   return Status::OK();
 }
 

@@ -46,11 +46,26 @@ class UpdatableIndex {
   LearnedSetIndex* index() { return index_.get(); }
   size_t updates_applied() const { return updates_applied_; }
 
+  /// Re-points instrumentation (`updatable.*` plus the wrapped index's
+  /// `index.*`) at `registry`; default MetricsRegistry::Global().
+  void SetMetricsRegistry(MetricsRegistry* registry);
+
  private:
   UpdatableIndex(sets::SetCollection collection, UpdatableIndexOptions opts)
       : collection_(std::make_unique<sets::SetCollection>(
             std::move(collection))),
-        opts_(std::move(opts)) {}
+        opts_(std::move(opts)) {
+    ResolveInstruments(MetricsRegistry::Global());
+  }
+
+  void ResolveInstruments(MetricsRegistry* registry);
+
+  struct Instruments {
+    Counter* updates = nullptr;    ///< updatable.updates_applied
+    Counter* absorbed = nullptr;   ///< updatable.subsets_absorbed
+    Counter* rebuilds = nullptr;   ///< updatable.rebuilds
+    Gauge* needs_rebuild = nullptr;///< updatable.rebuild_recommended (0/1)
+  };
 
   // Heap-allocated so its address is stable when the wrapper itself is
   // moved — LearnedSetIndex keeps a pointer to the collection.
@@ -58,6 +73,7 @@ class UpdatableIndex {
   UpdatableIndexOptions opts_;
   std::unique_ptr<LearnedSetIndex> index_;
   size_t updates_applied_ = 0;
+  Instruments metrics_;
 };
 
 }  // namespace los::core

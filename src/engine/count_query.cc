@@ -33,9 +33,20 @@ Status CountQueryExecutor::BuildEstimator(
   return Status::OK();
 }
 
+void CountQueryExecutor::ResolveInstruments(MetricsRegistry* registry) {
+  metrics_.seq_scans = registry->GetCounter("engine.seq_scan_counts");
+  metrics_.index_counts = registry->GetCounter("engine.index_counts");
+  metrics_.estimates = registry->GetCounter("engine.learned_estimates");
+  metrics_.latency = registry->GetHistogram("engine.count_seconds",
+                                            LatencyHistogramOptions());
+  if (estimator_.has_value()) estimator_->SetMetricsRegistry(registry);
+}
+
 Result<double> CountQueryExecutor::Count(sets::SetView q, AccessPath path) {
+  ScopedLatency timer(metrics_.latency);
   switch (path) {
     case AccessPath::kSeqScan: {
+      metrics_.seq_scans->Increment();
       const sets::SetCollection& rows = table_->set_column();
       uint64_t count = 0;
       for (size_t i = 0; i < rows.size(); ++i) {
@@ -47,12 +58,14 @@ Result<double> CountQueryExecutor::Count(sets::SetView q, AccessPath path) {
       if (index_ == nullptr) {
         return Status::InvalidArgument("index not built");
       }
+      metrics_.index_counts->Increment();
       return static_cast<double>(index_->Cardinality(q));
     }
     case AccessPath::kLearnedEstimate: {
       if (!estimator_.has_value()) {
         return Status::InvalidArgument("estimator not built");
       }
+      metrics_.estimates->Increment();
       return estimator_->Estimate(q);
     }
   }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "baselines/inverted_index.h"
+#include "common/metrics.h"
 #include "core/learned_cardinality.h"
 #include "engine/table.h"
 
@@ -25,7 +26,14 @@ const char* AccessPathName(AccessPath p);
 class CountQueryExecutor {
  public:
   /// The table must outlive the executor.
-  explicit CountQueryExecutor(const Table& table) : table_(&table) {}
+  explicit CountQueryExecutor(const Table& table) : table_(&table) {
+    ResolveInstruments(MetricsRegistry::Global());
+  }
+
+  /// Re-points instrumentation (`engine.*` metrics) at `registry`.
+  void SetMetricsRegistry(MetricsRegistry* registry) {
+    ResolveInstruments(registry);
+  }
 
   /// Builds the inverted index access path; records build seconds.
   void BuildIndex();
@@ -49,11 +57,21 @@ class CountQueryExecutor {
   }
 
  private:
+  void ResolveInstruments(MetricsRegistry* registry);
+
+  struct Instruments {
+    Counter* seq_scans = nullptr;     ///< engine.seq_scan_counts
+    Counter* index_counts = nullptr;  ///< engine.index_counts
+    Counter* estimates = nullptr;     ///< engine.learned_estimates
+    Histogram* latency = nullptr;     ///< engine.count_seconds
+  };
+
   const Table* table_;
   std::unique_ptr<baselines::InvertedIndex> index_;
   std::optional<core::LearnedCardinalityEstimator> estimator_;
   double index_build_seconds_ = 0.0;
   double estimator_build_seconds_ = 0.0;
+  Instruments metrics_;
 };
 
 }  // namespace los::engine

@@ -1,5 +1,7 @@
 #include "sets/set_io.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <sstream>
 
@@ -46,11 +48,29 @@ Result<TextCollection> ParseSetsText(const std::string& text,
 Result<TextCollection> ReadSetsFile(const std::string& path, char delimiter) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open: " + path);
-  std::fseek(f, 0, SEEK_END);
+  // fopen opens directories on POSIX (ftell then reports LONG_MAX), and an
+  // unchecked ftell of -1 (pipes, unseekable files) would cast to SIZE_MAX
+  // below; either way a huge allocation instead of a clean error.
+  struct stat st;
+  if (::fstat(::fileno(f), &st) != 0 || !S_ISREG(st.st_mode)) {
+    std::fclose(f);
+    return Status::IoError("not a regular file: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek in: " + path);
+  }
   long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot determine size of: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek in: " + path);
+  }
   std::string text(static_cast<size_t>(size), '\0');
-  size_t read = std::fread(text.data(), 1, text.size(), f);
+  size_t read = text.empty() ? 0 : std::fread(text.data(), 1, text.size(), f);
   std::fclose(f);
   if (read != text.size()) return Status::IoError("short read: " + path);
   return ParseSetsText(text, delimiter);

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cli/cli.h"
+#include "common/metrics.h"
 
 namespace los::cli {
 namespace {
@@ -138,6 +139,28 @@ TEST_F(CliTest, BloomWorkflow) {
   EXPECT_NE(output().find("p q -> maybe present"), std::string::npos)
       << output();
   EXPECT_NE(output().find("unknown_token -> absent"), std::string::npos);
+  std::remove(in.c_str());
+  std::remove(model.c_str());
+}
+
+TEST_F(CliTest, MetricsFlagDumpsJsonLines) {
+  std::string in = TempPath("metrics_in.txt");
+  WriteFile(in, "p q\nq r\np q r s\n");
+  std::string model = TempPath("metrics.bin");
+  ASSERT_EQ(Run({"build", "--task=bloom", "--input=" + in,
+                 "--output=" + model, "--epochs=2"}),
+            0)
+      << output();
+  ASSERT_EQ(Run({"query", "--task=bloom", "--model=" + model,
+                 "--query=p q", "--metrics"}),
+            0)
+      << output();
+  if (kMetricsCompiledIn) {
+    EXPECT_NE(output().find("{\"metric\":\"bloom.queries\""),
+              std::string::npos)
+        << output();
+    EXPECT_NE(output().find("\"type\":\"histogram\""), std::string::npos);
+  }
   std::remove(in.c_str());
   std::remove(model.c_str());
 }

@@ -1,0 +1,311 @@
+// Tests for the serving-path metrics subsystem: instrument correctness,
+// registry semantics, thread-safety of the lock-free hot path, snapshot
+// determinism, and injection into the learned structures.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/learned_cardinality.h"
+#include "core/learned_index.h"
+#include "sets/generators.h"
+#include "sets/workload.h"
+
+namespace los {
+namespace {
+
+// The whole file exercises observation side effects, which LOS_METRICS=OFF
+// compiles out by design; only the structural registry tests apply there.
+constexpr bool kObserving = kMetricsCompiledIn;
+
+TEST(CounterTest, IncrementAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), kObserving ? 42u : 0u);
+  EXPECT_EQ(c->name(), "test.counter");
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), kObserving ? -2.25 : 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0, 8});
+  h->Observe(1.0);
+  h->Observe(4.0);
+  h->Observe(16.0);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 21.0);
+  auto snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_DOUBLE_EQ(hs->min, 1.0);
+  EXPECT_DOUBLE_EQ(hs->max, 16.0);
+  EXPECT_DOUBLE_EQ(hs->Mean(), 7.0);
+}
+
+TEST(HistogramTest, BucketPlacementAndOverflow) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  // Bounds: 1, 2, 4 (+ overflow).
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0, 3});
+  h->Observe(0.5);   // bucket 0 (<= 1)
+  h->Observe(1.0);   // bucket 0 (inclusive upper bound)
+  h->Observe(3.0);   // bucket 2 (<= 4)
+  h->Observe(100.0); // overflow
+  auto snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.hist");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->bounds.size(), 3u);
+  ASSERT_EQ(hs->buckets.size(), 4u);
+  EXPECT_EQ(hs->buckets[0], 2u);
+  EXPECT_EQ(hs->buckets[1], 0u);
+  EXPECT_EQ(hs->buckets[2], 1u);
+  EXPECT_EQ(hs->buckets[3], 1u);
+}
+
+TEST(HistogramTest, PercentileWalksBuckets) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0, 8});
+  for (int i = 0; i < 90; ++i) h->Observe(0.5);  // bucket 0, bound 1
+  for (int i = 0; i < 10; ++i) h->Observe(3.0);  // bucket 2, bound 4
+  auto snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_DOUBLE_EQ(hs->Percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(hs->Percentile(0.95), 4.0);
+  // Overflow bucket reports the observed max.
+  h->Observe(1e9);
+  snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.FindHistogram("test.hist")->Percentile(1.0), 1e9);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_EQ(registry.GetGauge("b"), registry.GetGauge("b"));
+  EXPECT_EQ(registry.GetHistogram("c"), registry.GetHistogram("c"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("a2"));
+}
+
+TEST(RegistryTest, DisabledRegistryIsNoOp) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Histogram* h = registry.GetHistogram("test.hist");
+  registry.set_enabled(false);
+  c->Increment(10);
+  h->Observe(1.0);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_FALSE(h->enabled());
+  registry.set_enabled(true);
+  c->Increment(10);
+  EXPECT_EQ(c->value(), kObserving ? 10u : 0u);
+}
+
+TEST(RegistryTest, ResetZeroesEverything) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Increment(5);
+  g->Set(3.0);
+  h->Observe(2.0);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  auto snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.FindHistogram("h")->min, 0.0);
+  // Instruments stay usable after Reset.
+  h->Observe(4.0);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().FindHistogram("h")->min, 4.0);
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetCounter("apple");
+  registry.GetCounter("mango");
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "apple");
+  EXPECT_EQ(snap.counters[1].name, "mango");
+  EXPECT_EQ(snap.counters[2].name, "zebra");
+  EXPECT_EQ(snap.ToJsonLines(), registry.Snapshot().ToJsonLines());
+}
+
+TEST(RegistryTest, ConcurrentObservationsAreExact) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0, 8});
+  const size_t kN = 100000;
+  ThreadPool pool(4);
+  pool.ParallelFor(
+      kN,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          c->Increment();
+          h->Observe(static_cast<double>(i % 7));
+        }
+      },
+      1);
+  EXPECT_EQ(c->value(), kN);
+  EXPECT_EQ(h->count(), kN);
+  auto snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("test.hist");
+  ASSERT_NE(hs, nullptr);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hs->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kN);
+}
+
+TEST(RegistryTest, ConcurrentResolutionIsSafe) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  std::atomic<Counter*> first{nullptr};
+  std::atomic<bool> mismatch{false};
+  pool.ParallelFor(
+      1000,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Counter* c = registry.GetCounter("shared.counter");
+          Counter* expected = nullptr;
+          if (!first.compare_exchange_strong(expected, c) && expected != c) {
+            mismatch.store(true);
+          }
+          c->Increment();
+        }
+      },
+      1);
+  EXPECT_FALSE(mismatch.load());
+  if (kObserving) EXPECT_EQ(first.load()->value(), 1000u);
+}
+
+TEST(SnapshotTest, JsonLinesShape) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  registry.GetCounter("index.lookups")->Increment(42);
+  registry.GetGauge("trainer.last_epoch_loss")->Set(0.5);
+  registry.GetHistogram("index.lookup_seconds")->Observe(1e-5);
+  std::string lines = registry.Snapshot().ToJsonLines();
+  EXPECT_NE(lines.find("{\"metric\":\"index.lookups\",\"type\":\"counter\","
+                       "\"value\":42}"),
+            std::string::npos);
+  EXPECT_NE(lines.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(lines.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(lines.find("\"count\":1"), std::string::npos);
+
+  std::string obj = registry.Snapshot().ToJsonObject();
+  EXPECT_EQ(obj.front(), '{');
+  EXPECT_EQ(obj.back(), '}');
+  EXPECT_NE(obj.find("\"index.lookups\":42"), std::string::npos);
+}
+
+TEST(ScopedLatencyTest, RecordsPositiveDuration) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.seconds",
+                                       LatencyHistogramOptions());
+  { ScopedLatency timer(h); }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GE(h->sum(), 0.0);
+  // Null histogram must be harmless (disabled-at-build structures).
+  { ScopedLatency timer(nullptr); }
+}
+
+// Injection: a structure built against the global registry can be re-pointed
+// at a private one, and its serving path reports there.
+TEST(InjectionTest, EstimatorReportsToInjectedRegistry) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  sets::RwConfig cfg;
+  cfg.num_sets = 300;
+  cfg.num_unique = 60;
+  auto collection = GenerateRw(cfg);
+  core::CardinalityOptions opts;
+  opts.model.embed_dim = 4;
+  opts.model.phi_hidden = {8};
+  opts.model.rho_hidden = {8};
+  opts.train.epochs = 1;
+  opts.max_subset_size = 2;
+  auto est = core::LearnedCardinalityEstimator::Build(collection, opts);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+
+  MetricsRegistry registry;
+  est->SetMetricsRegistry(&registry);
+  std::vector<sets::ElementId> q{1, 2};
+  est->Estimate({q.data(), q.size()});
+  est->ObserveQError(10.0, 5.0);
+
+  auto snap = registry.Snapshot();
+  const CounterSnapshot* queries = snap.FindCounter("cardinality.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value, 1u);
+  const HistogramSnapshot* lat =
+      snap.FindHistogram("cardinality.estimate_seconds");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 1u);
+  const HistogramSnapshot* qerr = snap.FindHistogram("cardinality.qerror");
+  ASSERT_NE(qerr, nullptr);
+  EXPECT_EQ(qerr->count, 1u);
+  EXPECT_DOUBLE_EQ(qerr->min, 2.0);  // QError(10, 5) = 2
+}
+
+TEST(InjectionTest, IndexLookupCountsQueries) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  sets::RwConfig cfg;
+  cfg.num_sets = 300;
+  cfg.num_unique = 60;
+  auto collection = GenerateRw(cfg);
+  core::IndexOptions opts;
+  opts.model.embed_dim = 4;
+  opts.model.phi_hidden = {8};
+  opts.model.rho_hidden = {8};
+  opts.train.epochs = 1;
+  opts.max_subset_size = 2;
+  auto index = core::LearnedSetIndex::Build(collection, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  MetricsRegistry registry;
+  index->SetMetricsRegistry(&registry);
+  index->Lookup(collection.set(0));
+  auto to_query = [&](size_t i) {
+    sets::SetView v = collection.set(i);
+    sets::Query q;
+    q.elements.assign(v.data(), v.data() + v.size());
+    return q;
+  };
+  std::vector<sets::Query> batch{to_query(1), to_query(2)};
+  index->LookupBatch(batch);
+
+  auto snap = registry.Snapshot();
+  const CounterSnapshot* lookups = snap.FindCounter("index.lookups");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_EQ(lookups->value, 3u);
+  const CounterSnapshot* batches = snap.FindCounter("index.lookup_batches");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_EQ(batches->value, 1u);
+  const HistogramSnapshot* width = snap.FindHistogram("index.scan_width");
+  ASSERT_NE(width, nullptr);
+  EXPECT_GT(width->count, 0u);
+}
+
+}  // namespace
+}  // namespace los
