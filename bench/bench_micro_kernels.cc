@@ -15,6 +15,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/learned_cardinality.h"
 #include "deepsets/compressed_model.h"
 #include "deepsets/deepsets_model.h"
@@ -322,10 +323,9 @@ BENCHMARK(BM_MetricsHistogramObserve)
     ->Arg(0)
     ->ArgNames({"enabled"});
 
-// End-to-end instrumented serving path: cardinality Estimate() with the
-// injected registry enabled vs disabled. The gap between the two rows is
-// the total instrumentation overhead on a real query (budget: <2%).
-void BM_CardinalityEstimateMetrics(benchmark::State& state) {
+// Shared small estimator for the end-to-end serving-overhead benches
+// (built once, reused across all rows).
+los::core::LearnedCardinalityEstimator* BenchEstimator() {
   static los::core::LearnedCardinalityEstimator* est = [] {
     los::sets::RwConfig cfg;
     cfg.num_sets = 2000;
@@ -343,6 +343,14 @@ void BM_CardinalityEstimateMetrics(benchmark::State& state) {
                ? new los::core::LearnedCardinalityEstimator(std::move(*built))
                : nullptr;
   }();
+  return est;
+}
+
+// End-to-end instrumented serving path: cardinality Estimate() with the
+// injected registry enabled vs disabled. The gap between the two rows is
+// the total instrumentation overhead on a real query (budget: <2%).
+void BM_CardinalityEstimateMetrics(benchmark::State& state) {
+  los::core::LearnedCardinalityEstimator* est = BenchEstimator();
   if (est == nullptr) {
     state.SkipWithError("build failed");
     return;
@@ -366,6 +374,68 @@ BENCHMARK(BM_CardinalityEstimateMetrics)
     ->Arg(1)
     ->Arg(0)
     ->ArgNames({"enabled"});
+
+// Raw cost of one span on the tracing hot path. mode 0 = runtime-disabled
+// (one relaxed atomic load — the always-on production cost), mode 1 = every
+// span recorded (two clock reads + a thread-local ring push), mode 2 =
+// 1-in-128 sampling (127 of 128 spans pay only a counter bump). Under
+// -DLOS_TRACING=OFF all rows collapse to zero work.
+void BM_TraceSpan(benchmark::State& state) {
+  auto* tracer = los::Tracer::Global();
+  const int mode = static_cast<int>(state.range(0));
+  tracer->Reset();
+  tracer->set_sample_every(mode == 2 ? 128 : 1);
+  tracer->set_enabled(mode != 0);
+  for (auto _ : state) {
+    TRACE_SPAN_SAMPLED("bench", "bench.span");
+    benchmark::DoNotOptimize(tracer);
+  }
+  tracer->set_enabled(false);
+  tracer->set_sample_every(1);
+  tracer->Reset();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpan)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"mode"});
+
+// End-to-end serving query with spans compiled in. mode 0 (disabled) vs
+// the BM_CardinalityEstimateMetrics rows is the acceptance budget: spans
+// compiled-in-but-disabled must cost <=2% on a real query. mode 1 records
+// every span along the query (estimate + aux probe + forward stages +
+// kernels); mode 2 samples 1 in 128 queries.
+void BM_CardinalityEstimateTrace(benchmark::State& state) {
+  los::core::LearnedCardinalityEstimator* est = BenchEstimator();
+  if (est == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  los::MetricsRegistry registry;
+  registry.set_enabled(false);  // isolate tracing cost from metrics cost
+  est->SetMetricsRegistry(&registry);
+  auto* tracer = los::Tracer::Global();
+  const int mode = static_cast<int>(state.range(0));
+  tracer->Reset();
+  tracer->set_sample_every(mode == 2 ? 128 : 1);
+  tracer->set_enabled(mode != 0);
+  Rng rng(11);
+  std::vector<los::sets::ElementId> q(2);
+  for (auto _ : state) {
+    q[0] = static_cast<los::sets::ElementId>(rng.Uniform(500));
+    q[1] = static_cast<los::sets::ElementId>(rng.Uniform(500));
+    los::sets::Canonicalize(&q);
+    double v = est->Estimate({q.data(), q.size()});
+    benchmark::DoNotOptimize(v);
+    if (q.size() == 1) q.resize(2);
+  }
+  tracer->set_enabled(false);
+  tracer->set_sample_every(1);
+  tracer->Reset();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CardinalityEstimateTrace)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"mode"});
 
 void BM_HashSetSorted(benchmark::State& state) {
   std::vector<los::sets::ElementId> s{1, 5, 99, 1024, 70000, 123456};

@@ -14,9 +14,10 @@ using los::bench::BenchDatasets;
 using los::core::BloomOptions;
 using los::core::LearnedBloomFilter;
 
-int main() {
+int main(int argc, char** argv) {
   los::bench::Banner("Table 11: Bloom-filter task query time (ms)",
                      "Table 11");
+  los::bench::BenchTraceSession trace(argc, argv);
   const size_t kQueries = 1000;
 
   std::printf("\n%-10s %10s %10s | %10s %10s %10s\n", "dataset", "LSM",
@@ -60,13 +61,16 @@ int main() {
     }
     std::printf("%-10s %10.5f %10.5f | %10.5f %10.5f %10.5f\n",
                 ds.name.c_str(), ms[0], ms[1], bf_ms[0], bf_ms[1], bf_ms[2]);
+    trace.Checkpoint(los::MetricsRegistry::Global());
     los::bench::JsonRecord("table11_bloom_time")
         .Set("dataset", ds.name)
         .Set("lsm_ms", ms[0])
         .Set("clsm_ms", ms[1])
+        .SetProvenance()
         .SetMetrics(los::MetricsRegistry::Global()->Snapshot())
         .Print();
   }
+  trace.Finish();
   std::printf("\nExpected shape (paper Table 11): BF ~5x faster than the "
               "models; CLSM slightly slower than LSM; tighter fp rates "
               "probe more bits and cost slightly more.\n");

@@ -12,8 +12,9 @@ using los::bench::BenchDatasets;
 using los::bench::CardinalityPreset;
 using los::core::LearnedCardinalityEstimator;
 
-int main() {
+int main(int argc, char** argv) {
   los::bench::Banner("Table 4: cardinality-task query time (ms)", "Table 4");
+  los::bench::BenchTraceSession trace(argc, argv);
   const size_t kQueries = 10000;
 
   std::printf("\n%-10s %10s %12s %10s %12s %12s\n", "dataset", "LSM",
@@ -54,6 +55,7 @@ int main() {
     (void)sink;
     std::printf("%-10s %10.5f %12.5f %10.5f %12.5f %12.6f\n",
                 ds.name.c_str(), ms[0], ms[1], ms[2], ms[3], hm_ms);
+    trace.Checkpoint(los::MetricsRegistry::Global());
     los::bench::JsonRecord("table4_cardinality_time")
         .Set("dataset", ds.name)
         .Set("lsm_ms", ms[0])
@@ -61,9 +63,11 @@ int main() {
         .Set("clsm_ms", ms[2])
         .Set("clsm_hybrid_ms", ms[3])
         .Set("hashmap_ms", hm_ms)
+        .SetProvenance()
         .SetMetrics(los::MetricsRegistry::Global()->Snapshot())
         .Print();
   }
+  trace.Finish();
   std::printf("\nExpected shape (paper Table 4): HashMap ~100-300x faster "
               "than the models; CLSM slightly slower than LSM (extra "
               "compression + concatenation); hybrids slightly faster than "

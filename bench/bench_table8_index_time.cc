@@ -13,8 +13,9 @@ using los::bench::BenchDatasets;
 using los::bench::IndexPreset;
 using los::core::LearnedSetIndex;
 
-int main() {
+int main(int argc, char** argv) {
   los::bench::Banner("Table 8: index-task query time (ms)", "Table 8");
+  los::bench::BenchTraceSession trace(argc, argv);
   const size_t kQueries = 1000;
 
   std::printf("\n%-10s %12s %12s %12s %16s\n", "dataset", "LSM-Hybrid",
@@ -64,14 +65,17 @@ int main() {
     (void)sink;
     std::printf("%-10s %12.4f %12.4f %12.5f %16.1f\n", ds.name.c_str(),
                 ms[0], ms[1], btree_ms, scan_width);
+    trace.Checkpoint(los::MetricsRegistry::Global());
     los::bench::JsonRecord("table8_index_time")
         .Set("dataset", ds.name)
         .Set("lsm_hybrid_ms", ms[0])
         .Set("clsm_hybrid_ms", ms[1])
         .Set("btree_ms", btree_ms)
+        .SetProvenance()
         .SetMetrics(los::MetricsRegistry::Global()->Snapshot())
         .Print();
   }
+  trace.Finish();
   std::printf("\nExpected shape (paper Table 8): B+ tree ~100x faster; the "
               "hybrid's latency is dominated by the bounded local scan "
               "around the estimate.\n");

@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
 #include "core/trainer.h"
@@ -34,6 +36,97 @@ inline int EnvEpochs(int fallback) {
   const char* s = std::getenv("LOS_EPOCHS");
   return s != nullptr ? std::atoi(s) : fallback;
 }
+
+/// Build + runtime provenance as a raw JSON object. Embedded in every
+/// JsonRecord under "provenance" so a committed BENCH_*.json baseline
+/// identifies the binary and machine shape that produced it — without
+/// this, a regression diff cannot tell "code got slower" apart from
+/// "different compiler / ISA / core count".
+inline std::string ProvenanceJson() {
+#ifdef LOS_GIT_SHA
+  const char* sha = LOS_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+#ifdef LOS_NATIVE_BUILD
+  const char* native = "true";
+#else
+  const char* native = "false";
+#endif
+  std::string out = "{\"git_sha\":\"";
+  out += sha;
+  out += "\",\"compiler\":\"";
+  out += __VERSION__;  // no quotes/backslashes in practice (gcc/clang)
+  out += "\",\"native\":";
+  out += native;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"threads\":%u,\"scale\":%.6g}",
+                std::thread::hardware_concurrency(), EnvScale());
+  out += buf;
+  return out;
+}
+
+/// Parses the shared bench flags `--trace[=FILE]` / `--trace-sample=N`
+/// from a bench main's argv and, when requested, records spans for the
+/// whole run. Call Checkpoint(registry) just before taking a dataset's
+/// metrics snapshot: it folds the per-stage summary of the spans recorded
+/// since the previous Checkpoint into the registry (so SetMetrics embeds
+/// trace.* histograms covering just that dataset). Finish() writes the
+/// whole run's Chrome trace — ring-bounded to the freshest
+/// Tracer::kThreadBufferCapacity spans per thread — if FILE was given.
+class BenchTraceSession {
+ public:
+  BenchTraceSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace") {
+        enabled_ = true;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        enabled_ = true;
+        path_ = arg.substr(8);
+      } else if (arg.rfind("--trace-sample=", 0) == 0) {
+        sample_ = std::strtoul(arg.c_str() + 15, nullptr, 10);
+      }
+    }
+    if (enabled_) {
+      Tracer::Global()->Reset();
+      Tracer::Global()->set_sample_every(static_cast<uint32_t>(sample_));
+      Tracer::Global()->set_enabled(true);
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Folds the per-stage summary of spans recorded since the previous
+  /// Checkpoint (or start) into `registry` and advances the window mark.
+  void Checkpoint(MetricsRegistry* registry) {
+    if (!enabled_) return;
+    Tracer::Global()->SummaryTo(registry, mark_ns_);
+    mark_ns_ = Tracer::NowNs();
+  }
+
+  /// Stops recording and writes the Chrome trace if a path was given.
+  void Finish() {
+    if (!enabled_) return;
+    Tracer::Global()->set_enabled(false);
+    if (!path_.empty()) {
+      Status st = Tracer::Global()->WriteChromeTrace(path_);
+      if (st.ok()) {
+        std::printf("wrote trace to %s\n", path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    enabled_ = false;
+  }
+
+ private:
+  bool enabled_ = false;
+  unsigned long sample_ = 1;
+  uint64_t mark_ns_ = 0;
+  std::string path_;
+};
 
 /// One benchmark dataset: generated stand-in plus the paper's name for the
 /// dataset it models.
@@ -174,6 +267,10 @@ class JsonRecord {
   /// Embeds a metrics snapshot (as a nested JSON object) under "metrics".
   JsonRecord& SetMetrics(const MetricsSnapshot& snapshot) {
     return SetRaw("metrics", snapshot.ToJsonObject());
+  }
+  /// Embeds the build/runtime provenance object under "provenance".
+  JsonRecord& SetProvenance() {
+    return SetRaw("provenance", ProvenanceJson());
   }
 
   /// Adds one timing sample (seconds).

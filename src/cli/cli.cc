@@ -5,6 +5,7 @@
 
 #include "common/metrics.h"
 #include "common/serialize.h"
+#include "common/trace.h"
 #include "core/learned_bloom.h"
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
@@ -247,7 +248,13 @@ constexpr char kUsage[] =
     "  query    --task=<...> --model=M --query=\"a b c\" [--query=...]\n"
     "options:\n"
     "  --metrics  after any command, dump serving-path metrics (one JSON\n"
-    "             object per line) collected during the run\n";
+    "             object per line) collected during the run\n"
+    "  --trace-out=F    record spans during the command and write a Chrome\n"
+    "                   trace_event JSON to F (open in chrome://tracing or\n"
+    "                   https://ui.perfetto.dev); also merges a per-stage\n"
+    "                   trace.* summary into the --metrics output\n"
+    "  --trace-sample=N sample 1 in N serving-path queries (default 1;\n"
+    "                   training spans are always recorded)\n";
 
 }  // namespace
 
@@ -319,6 +326,17 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     out << kUsage;
     return cmd.empty() ? 1 : 0;
   }
+  const std::string trace_out = parser.GetString("trace-out");
+  if (!trace_out.empty()) {
+    if (!kTracingCompiledIn) {
+      out << "warning: tracing compiled out (LOS_TRACING=OFF); " << trace_out
+          << " will contain no spans\n";
+    }
+    Tracer::Global()->Reset();
+    Tracer::Global()->set_sample_every(
+        static_cast<uint32_t>(parser.GetInt("trace-sample", 1)));
+    Tracer::Global()->set_enabled(true);
+  }
   int rc = -1;
   if (cmd == "generate") {
     rc = CmdGenerate(parser, out);
@@ -331,6 +349,19 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   } else {
     out << "unknown command: " << cmd << "\n" << kUsage;
     return 1;
+  }
+  if (!trace_out.empty()) {
+    Tracer::Global()->set_enabled(false);
+    // Fold the per-stage summary in before the --metrics dump below so the
+    // trace.* histograms ride along with the serving metrics.
+    Tracer::Global()->SummaryTo(MetricsRegistry::Global());
+    Status st = Tracer::Global()->WriteChromeTrace(trace_out);
+    if (!st.ok()) {
+      out << "error: " << st.ToString() << "\n";
+      if (rc == 0) rc = 1;
+    } else {
+      out << "wrote trace to " << trace_out << "\n";
+    }
   }
   if (parser.HasFlag("metrics")) {
     out << MetricsRegistry::Global()->Snapshot().ToJsonLines();

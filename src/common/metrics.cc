@@ -55,10 +55,20 @@ double HistogramSnapshot::Percentile(double p) const {
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      return i < bounds.size() ? bounds[i] : max;
-    }
+    const uint64_t in_bucket = buckets[i];
+    seen += in_bucket;
+    if (seen < rank) continue;
+    // Interpolate linearly inside the bucket: assume its observations are
+    // spread uniformly over (lo, hi]. The overflow bucket has no upper
+    // bound, so use the observed max; clamping to [min, max] keeps sparse
+    // histograms honest (a single observation reports itself, not its
+    // bucket's bound).
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : max;
+    const uint64_t rank_in_bucket = rank - (seen - in_bucket);
+    const double fraction =
+        static_cast<double>(rank_in_bucket) / static_cast<double>(in_bucket);
+    return std::clamp(lo + (hi - lo) * fraction, min, max);
   }
   return max;
 }

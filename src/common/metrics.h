@@ -222,8 +222,9 @@ struct HistogramSnapshot {
   double Mean() const {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
-  /// Upper bound of the bucket holding the p-quantile observation (the
-  /// overflow bucket reports the observed max).
+  /// Estimate of the p-quantile observation: linear interpolation inside
+  /// the bucket holding the p-quantile rank (overflow bucket interpolates
+  /// toward the observed max), clamped to the observed [min, max].
   double Percentile(double p) const;
 };
 

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace los {
 
 namespace {
@@ -8,6 +11,20 @@ namespace {
 // deadlock a single-worker pool (and waste a slot on any pool), so nested
 // loops run inline on the calling worker instead.
 thread_local bool t_in_pool_worker = false;
+
+// Pool instruments report to the global registry: pools are process-wide
+// shared infrastructure, so per-structure registry injection doesn't apply.
+struct PoolInstruments {
+  Gauge* queue_depth;
+  Counter* tasks_executed;
+};
+
+PoolInstruments& Instruments() {
+  static PoolInstruments* const inst = new PoolInstruments{
+      MetricsRegistry::Global()->GetGauge("pool.queue_depth"),
+      MetricsRegistry::Global()->GetCounter("pool.tasks_executed")};
+  return *inst;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -17,7 +34,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -31,25 +48,46 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Enqueue timestamp feeds the pool.queue_wait span; skip the clock read
+  // entirely while tracing is off.
+  const uint64_t enqueue_ns =
+      kTracingCompiledIn && Tracer::Global()->enabled() ? Tracer::NowNs() : 0;
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), enqueue_ns});
+    depth = tasks_.size();
   }
+  Instruments().queue_depth->Set(static_cast<double>(depth));
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   t_in_pool_worker = true;
+  Tracer::SetCurrentThreadName("pool.worker-" +
+                               std::to_string(worker_index));
   while (true) {
-    std::function<void()> task;
+    Task task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
-    task();
+    Instruments().queue_depth->Set(static_cast<double>(depth));
+    if (task.enqueue_ns != 0) {
+      const uint64_t now = Tracer::NowNs();
+      Tracer::Global()->Emit("pool", "pool.queue_wait", task.enqueue_ns,
+                             now - task.enqueue_ns);
+    }
+    {
+      TRACE_SPAN("pool", "pool.task");
+      task.fn();
+    }
+    Instruments().tasks_executed->Increment();
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -38,11 +39,18 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
+  /// A queued closure plus its enqueue time (0 unless tracing was enabled
+  /// at submit time) for the pool.queue_wait trace span.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void Submit(std::function<void()> task);
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -4,6 +4,7 @@
 
 #include "baselines/inverted_index.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace los::core {
 
@@ -127,6 +128,8 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
   metrics_.batches->Increment();
   metrics_.queries->Increment(queries.size());
   ScopedLatency timer(metrics_.latency);
+  TRACE_SPAN_VAR(span, "serving", "bloom.may_contain_multi");
+  span.set_arg("queries", static_cast<double>(queries.size()));
   MultiResult result;
   result.verdicts.assign(queries.size(), false);
   // Partition: OOV queries are definitively absent; the rest go through
@@ -179,23 +182,34 @@ LearnedBloomFilter::MultiResult LearnedBloomFilter::MayContainMulti(
 bool LearnedBloomFilter::MayContain(sets::SetView q) {
   metrics_.queries->Increment();
   ScopedLatency timer(metrics_.latency);
+  // The span's outcome arg separates learned-accept / backup-hit / reject
+  // populations: the learned-Bloom model (Mitzenmacher) reasons about each
+  // path's cost and rate independently, so one blended latency is opaque.
+  TRACE_SPAN_SAMPLED_VAR(span, "serving", "bloom.may_contain");
   // Elements outside the training universe cannot be in any indexed set —
   // and the model has no embedding for them.
   for (sets::ElementId e : q) {
     if (static_cast<int64_t>(e) >= model_->vocab()) {
       metrics_.oov_rejects->Increment();
+      span.set_arg("outcome_oov_reject", 1.0);
       return false;
     }
   }
   if (model_->PredictOne(q) >= threshold_) {
     metrics_.learned_accepts->Increment();
+    span.set_arg("outcome_learned_accept", 1.0);
     return true;
   }
-  if (backup_.MayContain(q)) {
-    metrics_.backup_hits->Increment();
-    return true;
+  {
+    TRACE_SPAN("serving", "bloom.backup_probe");
+    if (backup_.MayContain(q)) {
+      metrics_.backup_hits->Increment();
+      span.set_arg("outcome_backup_hit", 1.0);
+      return true;
+    }
   }
   metrics_.rejects->Increment();
+  span.set_arg("outcome_reject", 1.0);
   return false;
 }
 

@@ -1,6 +1,7 @@
 #include "core/learned_cardinality.h"
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "nn/losses.h"
 
 namespace los::core {
@@ -100,15 +101,21 @@ void LearnedCardinalityEstimator::ObserveQError(double estimate,
 double LearnedCardinalityEstimator::Estimate(sets::SetView q) {
   metrics_.queries->Increment();
   ScopedLatency timer(metrics_.latency);
-  if (auto exact = aux_.Get(q)) {
-    metrics_.outlier_hits->Increment();
-    return *exact;
+  TRACE_SPAN_SAMPLED_VAR(span, "serving", "cardinality.estimate");
+  {
+    TRACE_SPAN("serving", "cardinality.aux_probe");
+    if (auto exact = aux_.Get(q)) {
+      metrics_.outlier_hits->Increment();
+      span.set_arg("outcome_aux_hit", 1.0);
+      return *exact;
+    }
   }
   // Unseen elements occur in no set, so any superset query has cardinality
   // zero; the model has no embedding for them either.
   for (sets::ElementId e : q) {
     if (static_cast<int64_t>(e) >= model_->vocab()) {
       metrics_.oov_queries->Increment();
+      span.set_arg("outcome_oov", 1.0);
       return 0.0;
     }
   }
@@ -120,6 +127,8 @@ std::vector<double> LearnedCardinalityEstimator::EstimateBatch(
   metrics_.batches->Increment();
   metrics_.queries->Increment(queries.size());
   ScopedLatency timer(metrics_.latency);
+  TRACE_SPAN_VAR(span, "serving", "cardinality.estimate_batch");
+  span.set_arg("queries", static_cast<double>(queries.size()));
   std::vector<double> out(queries.size(), 0.0);
   // Resolve aux hits and OOV queries first; batch the rest through
   // SetModel::PredictBatch, which bounds sub-batch sizes and reuses the

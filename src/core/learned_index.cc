@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "sets/subset_gen.h"
 #include "nn/losses.h"
 #include "sets/set_hash.h"
@@ -144,6 +145,7 @@ int64_t LearnedSetIndex::EstimatePosition(sets::SetView q) {
 int64_t LearnedSetIndex::LookupEqual(sets::SetView q, LookupStats* stats) {
   metrics_.lookups->Increment();
   ScopedLatency timer(metrics_.latency);
+  TRACE_SPAN_SAMPLED("serving", "index.lookup_equal");
   // Auxiliary probe: verify exact equality at the stored position.
   auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
   if (aux_pos.has_value()) {
@@ -215,18 +217,23 @@ size_t LearnedSetIndex::AbsorbUpdatedSet(size_t position,
 int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
   metrics_.lookups->Increment();
   ScopedLatency timer(metrics_.latency);
+  TRACE_SPAN_SAMPLED_VAR(span, "serving", "index.lookup");
   // Algorithm 2, line 2: auxiliary structure first. Hash collisions are
   // guarded by verifying containment at the stored position.
-  auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
-  if (aux_pos.has_value() &&
-      collection_->SetContainsSorted(static_cast<size_t>(*aux_pos), q)) {
-    if (stats != nullptr) {
-      stats->aux_hit = true;
-      stats->estimate = static_cast<int64_t>(*aux_pos);
-      stats->scan_width = 0;
+  {
+    TRACE_SPAN("serving", "index.aux_probe");
+    auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
+    if (aux_pos.has_value() &&
+        collection_->SetContainsSorted(static_cast<size_t>(*aux_pos), q)) {
+      if (stats != nullptr) {
+        stats->aux_hit = true;
+        stats->estimate = static_cast<int64_t>(*aux_pos);
+        stats->scan_width = 0;
+      }
+      metrics_.aux_hits->Increment();
+      span.set_arg("outcome_aux_hit", 1.0);
+      return static_cast<int64_t>(*aux_pos);
     }
-    metrics_.aux_hits->Increment();
-    return static_cast<int64_t>(*aux_pos);
   }
   // Elements beyond the model's vocabulary (inserted by updates after the
   // build, §7.2) can only be answered by the auxiliary structure or a full
@@ -258,6 +265,7 @@ int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
 
 int64_t LearnedSetIndex::ScanFromEstimate(sets::SetView q, int64_t est,
                                           LookupStats* stats) {
+  TRACE_SPAN_VAR(span, "serving", "index.bounded_scan");
   double e_r = bounds_.ErrorFor(static_cast<double>(est));
   int64_t lo = std::max<int64_t>(0, est - static_cast<int64_t>(e_r));
   int64_t hi = std::min<int64_t>(static_cast<int64_t>(collection_->size()),
@@ -268,6 +276,7 @@ int64_t LearnedSetIndex::ScanFromEstimate(sets::SetView q, int64_t est,
     stats->scan_width = hi - lo;
   }
   metrics_.scan_width->Observe(static_cast<double>(hi - lo));
+  span.set_arg("scan_width", static_cast<double>(hi - lo));
   int64_t pos = collection_->FindFirstSuperset(q, static_cast<size_t>(lo),
                                                static_cast<size_t>(hi));
   if (pos >= 0) return pos;
@@ -287,6 +296,8 @@ std::vector<int64_t> LearnedSetIndex::LookupBatch(
   metrics_.batches->Increment();
   metrics_.lookups->Increment(queries.size());
   ScopedLatency timer(metrics_.latency);
+  TRACE_SPAN_VAR(span, "serving", "index.lookup_batch");
+  span.set_arg("queries", static_cast<double>(queries.size()));
   std::vector<int64_t> results(queries.size(), -1);
   // Stage 1: resolve auxiliary hits and out-of-vocabulary queries; everything
   // else is deferred to one batched model pass.

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 
@@ -60,18 +61,29 @@ std::vector<EpochStats> Trainer::Train(deepsets::SetModel* model,
 
   const size_t batch = static_cast<size_t>(std::max(config_.batch_size, 1));
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    TRACE_SPAN_VAR(epoch_span, "training", "trainer.epoch");
+    epoch_span.set_arg("samples", static_cast<double>(idx.size()));
     Stopwatch sw;
     rng.Shuffle(&idx);
     double epoch_loss = 0.0;
     size_t batches = 0;
     for (size_t begin = 0; begin < idx.size(); begin += batch) {
       size_t end = std::min(idx.size(), begin + batch);
-      data.GatherBatch(idx, begin, end, &ids, &offsets, &targets);
+      {
+        TRACE_SPAN("training", "trainer.gather_batch");
+        data.GatherBatch(idx, begin, end, &ids, &offsets, &targets);
+      }
       const nn::Tensor& pred = model->Forward(ids, offsets);
       epoch_loss += ComputeLoss(config_.loss, pred, targets,
                                 config_.qerror_span, &dpred);
-      model->Backward(dpred);
-      optimizer.Step(params);
+      {
+        TRACE_SPAN("training", "trainer.backward");
+        model->Backward(dpred);
+      }
+      {
+        TRACE_SPAN("training", "trainer.optimizer_step");
+        optimizer.Step(params);
+      }
       ++batches;
     }
     EpochStats es;
@@ -117,6 +129,7 @@ GuidedResult TrainGuided(deepsets::SetModel* model, TrainingSet* data,
     result.history.insert(result.history.end(), stats.begin(), stats.end());
     if (round + 1 == rounds) break;  // last round: no eviction afterwards
 
+    TRACE_SPAN_VAR(evict_span, "training", "trainer.guided_evict");
     // Per-sample q-error in original space on the active set.
     std::vector<size_t> idx = data->ActiveIndices();
     if (idx.empty()) break;
@@ -151,6 +164,7 @@ GuidedResult TrainGuided(deepsets::SetModel* model, TrainingSet* data,
         ++evicted;
       }
     }
+    evict_span.set_arg("evicted", static_cast<double>(evicted));
     MetricsRegistry::Global()
         ->GetCounter("trainer.outliers_evicted")
         ->Increment(evicted);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/trace.h"
+
 namespace los::deepsets {
 
 namespace {
@@ -57,26 +59,41 @@ CompressedDeepSetsModel::Create(const CompressedConfig& config) {
 const nn::Tensor& CompressedDeepSetsModel::Forward(
     const std::vector<sets::ElementId>& ids,
     const std::vector<int64_t>& offsets) {
+  TRACE_SPAN_VAR(span, "model", "model.forward");
+  span.set_arg("elements", static_cast<double>(ids.size()));
   last_offsets_ = offsets;
   const int ns = compressor_.ns();
   const size_t n = ids.size();
-  for (int s = 0; s < ns; ++s) slot_ids_[static_cast<size_t>(s)].resize(n);
-  std::vector<uint32_t> sub(static_cast<size_t>(ns));
-  for (size_t i = 0; i < n; ++i) {
-    compressor_.CompressInto(ids[i], sub.data());
-    for (int s = 0; s < ns; ++s) {
-      slot_ids_[static_cast<size_t>(s)][i] = sub[static_cast<size_t>(s)];
+  {
+    TRACE_SPAN("model", "model.compress");
+    for (int s = 0; s < ns; ++s) slot_ids_[static_cast<size_t>(s)].resize(n);
+    std::vector<uint32_t> sub(static_cast<size_t>(ns));
+    for (size_t i = 0; i < n; ++i) {
+      compressor_.CompressInto(ids[i], sub.data());
+      for (int s = 0; s < ns; ++s) {
+        slot_ids_[static_cast<size_t>(s)][i] = sub[static_cast<size_t>(s)];
+      }
     }
   }
   const int64_t d = config_.base.embed_dim;
-  concat_.ResizeAndZero(static_cast<int64_t>(n), ns * d);
-  for (int s = 0; s < ns; ++s) {
-    slot_embeds_[static_cast<size_t>(s)].ForwardInto(
-        slot_ids_[static_cast<size_t>(s)], &concat_, s * d);
+  {
+    TRACE_SPAN("model", "model.embed_gather");
+    concat_.ResizeAndZero(static_cast<int64_t>(n), ns * d);
+    for (int s = 0; s < ns; ++s) {
+      slot_embeds_[static_cast<size_t>(s)].ForwardInto(
+          slot_ids_[static_cast<size_t>(s)], &concat_, s * d);
+    }
   }
-  const nn::Tensor& phi_out =
-      has_phi() ? phi_.Forward(concat_, &phi_ws_) : concat_;
-  pool_.Forward(phi_out, offsets, &pooled_, &pool_argmax_);
+  const nn::Tensor* phi_out = &concat_;
+  if (has_phi()) {
+    TRACE_SPAN("model", "model.phi");
+    phi_out = &phi_.Forward(concat_, &phi_ws_);
+  }
+  {
+    TRACE_SPAN("model", "model.pool");
+    pool_.Forward(*phi_out, offsets, &pooled_, &pool_argmax_);
+  }
+  TRACE_SPAN("model", "model.rho");
   return rho_.Forward(pooled_, &rho_ws_);
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "common/trace.h"
+
 namespace los::deepsets {
 
 namespace {
@@ -41,12 +43,24 @@ DeepSetsModel::DeepSetsModel(const DeepSetsConfig& config)
 const nn::Tensor& DeepSetsModel::Forward(
     const std::vector<sets::ElementId>& ids,
     const std::vector<int64_t>& offsets) {
+  TRACE_SPAN_VAR(span, "model", "model.forward");
+  span.set_arg("elements", static_cast<double>(ids.size()));
   last_ids_ = ids;
   last_offsets_ = offsets;
-  embed_.Forward(ids, &embedded_);
-  const nn::Tensor& phi_out =
-      has_phi() ? phi_.Forward(embedded_, &phi_ws_) : embedded_;
-  pool_.Forward(phi_out, offsets, &pooled_, &pool_argmax_);
+  {
+    TRACE_SPAN("model", "model.embed_gather");
+    embed_.Forward(ids, &embedded_);
+  }
+  const nn::Tensor* phi_out = &embedded_;
+  if (has_phi()) {
+    TRACE_SPAN("model", "model.phi");
+    phi_out = &phi_.Forward(embedded_, &phi_ws_);
+  }
+  {
+    TRACE_SPAN("model", "model.pool");
+    pool_.Forward(*phi_out, offsets, &pooled_, &pool_argmax_);
+  }
+  TRACE_SPAN("model", "model.rho");
   return rho_.Forward(pooled_, &rho_ws_);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/trace.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 
@@ -112,6 +113,8 @@ Result<std::unique_ptr<SetTransformerModel>> SetTransformerModel::Create(
 const nn::Tensor& SetTransformerModel::Forward(
     const std::vector<sets::ElementId>& ids,
     const std::vector<int64_t>& offsets) {
+  TRACE_SPAN_VAR(span, "model", "model.forward");
+  span.set_arg("elements", static_cast<double>(ids.size()));
   last_ids_ = ids;
   last_offsets_ = offsets;
   const int64_t d = config_.att_dim;
@@ -120,9 +123,13 @@ const nn::Tensor& SetTransformerModel::Forward(
   const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
   const int64_t num_sets = static_cast<int64_t>(offsets.size()) - 1;
 
-  embed_.Forward(ids, &embedded_);
-  input_proj_.Forward(embedded_, &projected_);
+  {
+    TRACE_SPAN("model", "model.embed_gather");
+    embed_.Forward(ids, &embedded_);
+    input_proj_.Forward(embedded_, &projected_);
+  }
 
+  TRACE_SPAN_VAR(attn_span, "model", "model.attention");
   set_caches_.resize(static_cast<size_t>(num_sets));
   pooled_.ResizeAndZero(num_sets, d);
   nn::Tensor qh, kh, vh, ah, oh, pkh, pvh, seed_h;
@@ -188,6 +195,8 @@ const nn::Tensor& SetTransformerModel::Forward(
       }
     }
   }
+  attn_span.Stop();
+  TRACE_SPAN("model", "model.rho");
   return rho_.Forward(pooled_, &rho_ws_);
 }
 

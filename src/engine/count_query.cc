@@ -1,6 +1,7 @@
 #include "engine/count_query.h"
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace los::engine {
 
@@ -44,6 +45,7 @@ void CountQueryExecutor::ResolveInstruments(MetricsRegistry* registry) {
 
 Result<double> CountQueryExecutor::Count(sets::SetView q, AccessPath path) {
   ScopedLatency timer(metrics_.latency);
+  TRACE_SPAN_SAMPLED("serving", "engine.count");
   switch (path) {
     case AccessPath::kSeqScan: {
       metrics_.seq_scans->Increment();

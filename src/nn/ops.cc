@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace los::nn {
 
@@ -219,6 +220,9 @@ void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   (void)kb;
   assert(c->rows() == m && c->cols() == n);
 
+  TRACE_SPAN_VAR(span, "nn", "nn.gemm");
+  span.set_arg("mnk", static_cast<double>(m * n * k));
+
   if (beta == 0.0f) {
     c->SetZero();
   } else if (beta != 1.0f) {
@@ -338,6 +342,8 @@ constexpr int64_t kSumRowsChunkRows = 256;
 
 void SumRowsAccumulate(const Tensor& x, Tensor* out) {
   assert(out->rows() == 1 && out->cols() == x.cols());
+  TRACE_SPAN_VAR(span, "nn", "nn.sum_rows");
+  span.set_arg("rows", static_cast<double>(x.rows()));
   const int64_t rows = x.rows();
   const int64_t cols = x.cols();
   float* o = out->data();
@@ -460,6 +466,8 @@ void AdamStepFused(float alpha, float beta1, float beta2, float eps,
                    Tensor* value, Tensor* grad, Tensor* m, Tensor* v) {
   assert(value->SameShape(*grad) && value->SameShape(*m) &&
          value->SameShape(*v));
+  TRACE_SPAN_VAR(span, "nn", "nn.adam_step");
+  span.set_arg("params", static_cast<double>(value->size()));
   float* __restrict wd = value->data();
   float* __restrict gd = grad->data();
   float* __restrict md = m->data();

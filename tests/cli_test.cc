@@ -9,6 +9,7 @@
 
 #include "cli/cli.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace los::cli {
 namespace {
@@ -161,6 +162,56 @@ TEST_F(CliTest, MetricsFlagDumpsJsonLines) {
         << output();
     EXPECT_NE(output().find("\"type\":\"histogram\""), std::string::npos);
   }
+  std::remove(in.c_str());
+  std::remove(model.c_str());
+}
+
+TEST_F(CliTest, TraceOutWritesChromeTraceAndSummary) {
+  std::string in = TempPath("trace_in.txt");
+  WriteFile(in, "p q\nq r\np q r s\n");
+  std::string model = TempPath("trace.bin");
+  ASSERT_EQ(Run({"build", "--task=bloom", "--input=" + in,
+                 "--output=" + model, "--epochs=2"}),
+            0)
+      << output();
+  std::string trace = TempPath("trace.json");
+  ASSERT_EQ(Run({"query", "--task=bloom", "--model=" + model,
+                 "--query=p q", "--trace-out=" + trace, "--trace-sample=1",
+                 "--metrics"}),
+            0)
+      << output();
+  EXPECT_NE(output().find("wrote trace to"), std::string::npos) << output();
+  std::ifstream f(trace);
+  ASSERT_TRUE(f.good()) << "trace file missing: " << trace;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+  if (kTracingCompiledIn) {
+    // The query's serving span made it into the Chrome trace...
+    EXPECT_NE(buf.str().find("bloom.may_contain"), std::string::npos)
+        << buf.str();
+    // ...and the per-stage summary rides along with the --metrics dump.
+    if (kMetricsCompiledIn) {
+      EXPECT_NE(output().find("trace.bloom.may_contain"), std::string::npos)
+          << output();
+    }
+  }
+  std::remove(in.c_str());
+  std::remove(model.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST_F(CliTest, TraceOutUnwritablePathFails) {
+  std::string in = TempPath("trace_bad_in.txt");
+  WriteFile(in, "a b\nb c\n");
+  std::string model = TempPath("trace_bad.bin");
+  ASSERT_EQ(Run({"build", "--task=bloom", "--input=" + in,
+                 "--output=" + model, "--epochs=2"}),
+            0);
+  EXPECT_EQ(Run({"query", "--task=bloom", "--model=" + model, "--query=a b",
+                 "--trace-out=/nonexistent-dir/trace.json"}),
+            1);
+  EXPECT_NE(output().find("error"), std::string::npos);
   std::remove(in.c_str());
   std::remove(model.c_str());
 }

@@ -86,9 +86,13 @@ TEST(HistogramTest, PercentileWalksBuckets) {
   auto snap = registry.Snapshot();
   const HistogramSnapshot* hs = snap.FindHistogram("test.hist");
   ASSERT_NE(hs, nullptr);
-  EXPECT_DOUBLE_EQ(hs->Percentile(0.5), 1.0);
-  EXPECT_DOUBLE_EQ(hs->Percentile(0.95), 4.0);
-  // Overflow bucket reports the observed max.
+  // Rank 50 falls in bucket 0 (90 obs, range (0, 1]): interpolation puts
+  // it at 50/90 of the way up the bucket.
+  EXPECT_DOUBLE_EQ(hs->Percentile(0.5), 50.0 / 90.0);
+  // Rank 95 falls in bucket 2 (10 obs, range (2, 4]): 5/10 of the way is
+  // 3.0, which is also the clamp ceiling (observed max).
+  EXPECT_DOUBLE_EQ(hs->Percentile(0.95), 3.0);
+  // The overflow bucket interpolates toward (and caps at) the observed max.
   h->Observe(1e9);
   snap = registry.Snapshot();
   EXPECT_DOUBLE_EQ(snap.FindHistogram("test.hist")->Percentile(1.0), 1e9);

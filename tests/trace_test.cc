@@ -1,0 +1,544 @@
+// Tests for the span-tracing subsystem (common/trace.h): runtime/compile
+// gating, nesting, 1-in-N sampling with nested suppression, ring wrap,
+// cross-thread recording via the thread pool, the Chrome trace_event
+// exporter (parsed back with a minimal JSON reader), the per-stage summary
+// bridge into MetricsRegistry, and the end-to-end coverage acceptance check
+// on a traced cardinality query.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/learned_cardinality.h"
+#include "sets/generators.h"
+#include "sets/set_collection.h"
+
+namespace los {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to parse the exporter's output back.
+// Numbers are doubles; no \uXXXX escapes (the exporter never emits them
+// for our literal span names).
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    return ParseValue(out) && (SkipWs(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseLiteral(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          default: out->push_back(e); break;  // \" \\ \/
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->fields.emplace(std::move(key), std::move(v));
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->items.push_back(std::move(v));
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::kBool;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') return ParseLiteral("null");
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out->kind = JsonValue::kNumber;
+    out->number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global()->set_enabled(false);
+    Tracer::Global()->set_sample_every(1);
+    Tracer::Global()->Reset();
+  }
+  void TearDown() override {
+    Tracer::Global()->set_enabled(false);
+    Tracer::Global()->set_sample_every(1);
+    Tracer::Global()->Reset();
+  }
+
+  static size_t CountByName(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+    return static_cast<size_t>(
+        std::count_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+          return e.name != nullptr && name == e.name;
+        }));
+  }
+  static uint64_t SumDurationByName(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+    uint64_t total = 0;
+    for (const auto& e : events) {
+      if (e.name != nullptr && name == e.name) total += e.duration_ns;
+    }
+    return total;
+  }
+};
+
+TEST_F(TraceTest, RuntimeDisabledObservesNothing) {
+  {
+    TRACE_SPAN("test", "test.disabled");
+    TRACE_SPAN_SAMPLED("test", "test.disabled_sampled");
+    TRACE_SPAN_VAR(span, "test", "test.disabled_var");
+    EXPECT_FALSE(span.recording());
+    span.set_arg("x", 1.0);  // must be a safe no-op
+  }
+  EXPECT_TRUE(Tracer::Global()->Collect().empty());
+}
+
+TEST_F(TraceTest, CompiledOutObservesNothingEvenWhenEnabled) {
+  if (kTracingCompiledIn) GTEST_SKIP() << "tracing compiled in";
+  Tracer::Global()->set_enabled(true);
+  {
+    TRACE_SPAN("test", "test.compiled_out");
+    TRACE_SPAN_VAR(span, "test", "test.compiled_out_var");
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_TRUE(Tracer::Global()->Collect().empty());
+  // The exporter still produces a valid (empty) document.
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(Tracer::Global()->ChromeTraceJson()).Parse(&doc));
+  ASSERT_NE(doc.Get("traceEvents"), nullptr);
+  EXPECT_TRUE(doc.Get("traceEvents")->items.empty());
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithArgs) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  {
+    TRACE_SPAN_VAR(outer, "test", "test.outer");
+    EXPECT_TRUE(outer.recording());
+    outer.set_arg("items", 3.0);
+    TRACE_SPAN("test", "test.inner");
+  }
+  auto events = Tracer::Global()->Collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Collect sorts by start time; the outer span starts first.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].duration_ns,
+            events[1].start_ns + events[1].duration_ns);
+  ASSERT_NE(events[0].arg_name, nullptr);
+  EXPECT_STREQ(events[0].arg_name, "items");
+  EXPECT_EQ(events[0].arg_value, 3.0);
+  EXPECT_EQ(events[1].arg_name, nullptr);
+}
+
+TEST_F(TraceTest, StopEndsSpanEarlyAndIsIdempotent) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  {
+    TRACE_SPAN_VAR(span, "test", "test.stopped");
+    span.Stop();
+    EXPECT_FALSE(span.recording());
+    span.Stop();              // idempotent
+    span.set_arg("x", 1.0);   // after Stop: no-op
+    TRACE_SPAN("test", "test.after_stop");  // not suppressed by the stop
+  }
+  auto events = Tracer::Global()->Collect();
+  EXPECT_EQ(CountByName(events, "test.stopped"), 1u);
+  EXPECT_EQ(CountByName(events, "test.after_stop"), 1u);
+}
+
+TEST_F(TraceTest, SamplingRecordsExactlyOneInN) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_sample_every(4);
+  Tracer::Global()->set_enabled(true);
+  for (int i = 0; i < 12; ++i) {
+    TRACE_SPAN_SAMPLED_VAR(query, "test", "test.query");
+    // Setting the rate resets the phase, so the very first query records.
+    EXPECT_EQ(query.recording(), i % 4 == 0) << "i=" << i;
+    TRACE_SPAN("test", "test.stage");  // nested: suppressed when sampled out
+  }
+  auto events = Tracer::Global()->Collect();
+  // 1-in-4 over 12 iterations: exactly 3 of each, mutually consistent.
+  EXPECT_EQ(CountByName(events, "test.query"), 3u);
+  EXPECT_EQ(CountByName(events, "test.stage"), 3u);
+
+  // Dropping back to 1 records everything again.
+  Tracer::Global()->Reset();
+  Tracer::Global()->set_sample_every(1);
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SPAN_SAMPLED("test", "test.query");
+  }
+  EXPECT_EQ(CountByName(Tracer::Global()->Collect(), "test.query"), 5u);
+}
+
+TEST_F(TraceTest, RingWrapKeepsFreshestRecordsWithoutTearing) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  const size_t cap = Tracer::kThreadBufferCapacity;
+  const size_t total = cap + 257;  // wrap, not by a multiple of the capacity
+  for (size_t i = 0; i < total; ++i) {
+    TRACE_SPAN_VAR(span, "test", "test.seq");
+    span.set_arg("i", static_cast<double>(i));
+  }
+  auto events = Tracer::Global()->Collect();
+  // Only spans from this test's thread + name (the fixture reset the rest).
+  ASSERT_EQ(CountByName(events, "test.seq"), cap);
+  // The ring keeps exactly the freshest `cap` records, in order, each one
+  // intact (name/category/arg written before the head moved past it).
+  double expect = static_cast<double>(total - cap);
+  for (const auto& e : events) {
+    ASSERT_STREQ(e.name, "test.seq");
+    ASSERT_STREQ(e.category, "test");
+    ASSERT_STREQ(e.arg_name, "i");
+    ASSERT_EQ(e.arg_value, expect);
+    expect += 1.0;
+  }
+}
+
+TEST_F(TraceTest, ResetDropsBufferedSpans) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  { TRACE_SPAN("test", "test.before"); }
+  ASSERT_EQ(Tracer::Global()->Collect().size(), 1u);
+  Tracer::Global()->Reset();
+  EXPECT_TRUE(Tracer::Global()->Collect().empty());
+  { TRACE_SPAN("test", "test.after"); }
+  auto events = Tracer::Global()->Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.after");
+}
+
+TEST_F(TraceTest, EmitRecordsExternallyTimedSpan) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  const uint64_t start = Tracer::NowNs();
+  Tracer::Global()->Emit("test", "test.emit", start, 12345, "n", 7.0);
+  auto events = Tracer::Global()->Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.emit");
+  EXPECT_EQ(events[0].duration_ns, 12345u);
+  ASSERT_NE(events[0].arg_name, nullptr);
+  EXPECT_EQ(events[0].arg_value, 7.0);
+}
+
+TEST_F(TraceTest, ThreadPoolWorkersRecordUnderTheirOwnIds) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  {
+    ThreadPool pool(2);
+    // min_chunk=1 forces the range onto the workers even on one core.
+    pool.ParallelFor(
+        8, [](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            TRACE_SPAN("test", "test.chunk");
+          }
+        },
+        /*min_chunk=*/1);
+    // ParallelFor returns as soon as the last chunk's closure finishes —
+    // *inside* that worker's pool.task span. Join the workers (pool
+    // destructor) so every span has been pushed before collecting.
+  }
+  auto events = Tracer::Global()->Collect();
+  ASSERT_EQ(CountByName(events, "test.chunk"), 8u);
+  // Every chunk span nests inside some worker's pool.task span: same tid,
+  // enclosed interval.
+  for (const auto& e : events) {
+    if (std::string(e.name) != "test.chunk") continue;
+    bool enclosed = false;
+    for (const auto& t : events) {
+      if (std::string(t.name) != "pool.task" || t.tid != e.tid) continue;
+      if (t.start_ns <= e.start_ns &&
+          t.start_ns + t.duration_ns >= e.start_ns + e.duration_ns) {
+        enclosed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(enclosed) << "chunk span not inside any pool.task";
+  }
+  // The workers registered stable names.
+  auto threads = Tracer::Global()->Threads();
+  size_t named = 0;
+  for (const auto& t : threads) {
+    if (t.name.rfind("pool.worker-", 0) == 0) ++named;
+  }
+  EXPECT_GE(named, 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonParsesBack) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::SetCurrentThreadName("trace-test-main");
+  Tracer::Global()->set_enabled(true);
+  {
+    TRACE_SPAN_VAR(span, "test", "test.export \"quoted\"");
+    span.set_arg("bytes", 42.0);
+    TRACE_SPAN("test", "test.export_inner");
+  }
+  std::string json = Tracer::Global()->ChromeTraceJson();
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(json).Parse(&doc)) << json;
+  const JsonValue* events = doc.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+
+  bool saw_thread_name = false, saw_outer = false, saw_inner = false;
+  for (const auto& ev : events->items) {
+    const JsonValue* ph = ev.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      const JsonValue* args = ev.Get("args");
+      if (args != nullptr && args->Get("name") != nullptr &&
+          args->Get("name")->str == "trace-test-main") {
+        saw_thread_name = true;
+      }
+      continue;
+    }
+    ASSERT_EQ(ph->str, "X");
+    ASSERT_NE(ev.Get("ts"), nullptr);
+    ASSERT_NE(ev.Get("dur"), nullptr);
+    ASSERT_EQ(ev.Get("ts")->kind, JsonValue::kNumber);
+    ASSERT_EQ(ev.Get("dur")->kind, JsonValue::kNumber);
+    const std::string& name = ev.Get("name")->str;
+    if (name == "test.export \"quoted\"") {
+      saw_outer = true;
+      EXPECT_EQ(ev.Get("cat")->str, "test");
+      ASSERT_NE(ev.Get("args"), nullptr);
+      ASSERT_NE(ev.Get("args")->Get("bytes"), nullptr);
+      EXPECT_EQ(ev.Get("args")->Get("bytes")->number, 42.0);
+    } else if (name == "test.export_inner") {
+      saw_inner = true;
+      EXPECT_EQ(ev.Get("args"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  ASSERT_NE(doc.Get("displayTimeUnit"), nullptr);
+  EXPECT_EQ(doc.Get("displayTimeUnit")->str, "ms");
+}
+
+TEST_F(TraceTest, SummaryToBuildsPerStageHistograms) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  Tracer::Global()->set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SPAN("test", "test.stage_a");
+  }
+  { TRACE_SPAN("test", "test.stage_b"); }
+  MetricsRegistry registry;
+  Tracer::Global()->SummaryTo(&registry);
+  auto snap = registry.Snapshot();
+  const HistogramSnapshot* a = snap.FindHistogram("trace.test.stage_a");
+  const HistogramSnapshot* b = snap.FindHistogram("trace.test.stage_b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, 5u);
+  EXPECT_EQ(b->count, 1u);
+  EXPECT_GE(a->sum, 0.0);
+  // The JSON export carries interpolated percentiles for each stage.
+  std::string obj = snap.ToJsonObject();
+  EXPECT_NE(obj.find("\"trace.test.stage_a\""), std::string::npos);
+  EXPECT_NE(obj.find("\"p95\""), std::string::npos);
+
+  // A `since_ns` window restricts the aggregation to newer spans without
+  // clearing the rings (benches checkpoint per dataset this way).
+  const uint64_t mark = Tracer::NowNs();
+  for (int i = 0; i < 2; ++i) {
+    TRACE_SPAN("test", "test.stage_a");
+  }
+  MetricsRegistry windowed;
+  Tracer::Global()->SummaryTo(&windowed, mark);
+  auto windowed_snap = windowed.Snapshot();
+  const HistogramSnapshot* wa = windowed_snap.FindHistogram("trace.test.stage_a");
+  ASSERT_NE(wa, nullptr);
+  EXPECT_EQ(wa->count, 2u);
+  EXPECT_EQ(windowed_snap.FindHistogram("trace.test.stage_b"), nullptr);
+}
+
+// Acceptance: a cardinality query traced at sample rate 1 decomposes into
+// stage spans covering >= 90% of its end-to-end latency, with the
+// aux-probe / gather / phi / pool / rho stages all visible.
+TEST_F(TraceTest, CardinalityEstimateSpansCoverEndToEndLatency) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  sets::RwConfig cfg;
+  cfg.num_sets = 1500;
+  cfg.num_unique = 400;
+  auto collection = GenerateRw(cfg);
+  core::CardinalityOptions opts;
+  opts.model.embed_dim = 8;
+  opts.model.phi_hidden = {32};
+  opts.model.rho_hidden = {32};
+  opts.train.epochs = 1;
+  opts.max_subset_size = 2;
+  auto est = core::LearnedCardinalityEstimator::Build(collection, opts);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  // Route metrics to a disabled registry: this test budgets the *span*
+  // coverage of the query, and the metrics layer's counters/latency clocks
+  // sit outside the spans by design (~100ns/query of separate overhead).
+  MetricsRegistry quiet;
+  quiet.set_enabled(false);
+  est->SetMetricsRegistry(&quiet);
+
+  // Queries are prepared up front: the timed section is Estimate() alone,
+  // so `wall` is the summed end-to-end query latency.
+  Rng rng(17);
+  const int kQueries = 50;
+  std::vector<std::vector<sets::ElementId>> queries(kQueries);
+  for (auto& q : queries) {
+    q = {static_cast<sets::ElementId>(rng.Uniform(400)),
+         static_cast<sets::ElementId>(rng.Uniform(400))};
+    sets::Canonicalize(&q);
+  }
+  Tracer::Global()->Reset();
+  Tracer::Global()->set_sample_every(1);
+  Tracer::Global()->set_enabled(true);
+  const uint64_t wall_start = Tracer::NowNs();
+  for (const auto& q : queries) {
+    est->Estimate({q.data(), q.size()});
+  }
+  const uint64_t wall = Tracer::NowNs() - wall_start;
+  Tracer::Global()->set_enabled(false);
+
+  auto events = Tracer::Global()->Collect();
+  EXPECT_EQ(CountByName(events, "cardinality.estimate"),
+            static_cast<size_t>(kQueries));
+  // Every stage of the serving decomposition is visible.
+  for (const char* stage :
+       {"cardinality.aux_probe", "model.forward", "model.embed_gather",
+        "model.phi", "model.pool", "model.rho", "nn.gemm"}) {
+    EXPECT_GT(CountByName(events, stage), 0u) << stage;
+  }
+  // The per-query spans cover >= 90% of the end-to-end wall time of the
+  // query loop (the uncovered remainder is metrics bookkeeping and loop
+  // overhead). Summed over 50 queries, scheduling noise averages out.
+  const uint64_t covered = SumDurationByName(events, "cardinality.estimate");
+  EXPECT_GE(static_cast<double>(covered), 0.9 * static_cast<double>(wall))
+      << "covered " << covered << "ns of " << wall << "ns";
+  // And the model stages cover most of the forward pass itself.
+  const uint64_t forward = SumDurationByName(events, "model.forward");
+  const uint64_t stages = SumDurationByName(events, "model.embed_gather") +
+                          SumDurationByName(events, "model.phi") +
+                          SumDurationByName(events, "model.pool") +
+                          SumDurationByName(events, "model.rho");
+  EXPECT_GE(static_cast<double>(stages), 0.8 * static_cast<double>(forward));
+}
+
+}  // namespace
+}  // namespace los
