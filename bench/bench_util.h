@@ -227,11 +227,11 @@ inline core::IndexOptions IndexPreset(bool compressed, bool hybrid,
 }
 
 /// One benchmark measurement as a machine-readable single-line JSON
-/// record: a bench name, free-form config key/values, and the median and
-/// 95th percentile of the accumulated timing samples:
+/// record: a bench name, free-form config key/values, and the median,
+/// 95th and 99th percentile of the accumulated timing samples:
 ///
 ///   {"bench":"index_train_epoch","threads":8,"batch":256,
-///    "median_s":0.41,"p95_s":0.44,"samples":3}
+///    "median_s":0.41,"p95_s":0.44,"p99_s":0.45,"samples":3}
 ///
 /// Lines print to stdout (greppable by `"bench"`) and append verbatim to
 /// any FILE* handed to Print, so sweeps can tee into a .json file.
@@ -281,6 +281,7 @@ class JsonRecord {
 
   double Median() const { return Percentile(0.5); }
   double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
 
   /// The single-line JSON encoding (no trailing newline).
   std::string ToJson() const {
@@ -289,10 +290,11 @@ class JsonRecord {
       out += ",\"" + key + "\":" + value;
     }
     if (!samples_.empty()) {
-      char buf[96];
-      std::snprintf(buf, sizeof(buf),
-                    ",\"median_s\":%.6g,\"p95_s\":%.6g,\"samples\":%zu",
-                    Median(), P95(), samples_.size());
+      char buf[128];
+      std::snprintf(
+          buf, sizeof(buf),
+          ",\"median_s\":%.6g,\"p95_s\":%.6g,\"p99_s\":%.6g,\"samples\":%zu",
+          Median(), P95(), P99(), samples_.size());
       out += buf;
     }
     out += "}";

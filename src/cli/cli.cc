@@ -1,14 +1,18 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/serialize.h"
 #include "common/trace.h"
 #include "core/learned_bloom.h"
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
+#include "serve/serving.h"
 #include "sets/generators.h"
 #include "sets/set_io.h"
 
@@ -237,6 +241,203 @@ int CmdQuery(const ArgParser& args, std::ostream& out) {
   return Fail(out, "unknown task: " + task);
 }
 
+/// Synthetic query workload for serve-bench: random subsets of the model's
+/// vocabulary, sizes 1..3, deterministic given the seed.
+std::vector<sets::Query> SyntheticQueries(size_t vocab, size_t n,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<sets::Query> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sets::Query q;
+    size_t size = 1 + rng.Uniform(3);
+    for (size_t j = 0; j < size; ++j) {
+      q.elements.push_back(
+          static_cast<sets::ElementId>(rng.Uniform(std::max<size_t>(vocab, 1))));
+    }
+    std::sort(q.elements.begin(), q.elements.end());
+    q.elements.erase(std::unique(q.elements.begin(), q.elements.end()),
+                     q.elements.end());
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+struct ClosedLoopResult {
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;  ///< sorted, seconds
+
+  double Qps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(latencies.size()) / wall_seconds
+               : 0.0;
+  }
+  double Percentile(double p) const {
+    if (latencies.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(latencies.size()));
+    return latencies[std::min(idx, latencies.size() - 1)];
+  }
+};
+
+/// Runs `clients` closed-loop threads, each submitting `per_client` queries
+/// back-to-back through `submit` (which blocks until the query completes).
+ClosedLoopResult RunClosedLoop(
+    size_t clients, size_t per_client, const std::vector<sets::Query>& queries,
+    const std::function<void(const sets::Query&)>& submit) {
+  std::vector<std::vector<double>> per_thread(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[t].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        const sets::Query& q =
+            queries[(t * per_client + i) % queries.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        submit(q);
+        per_thread[t].push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ClosedLoopResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (auto& v : per_thread) {
+    result.latencies.insert(result.latencies.end(), v.begin(), v.end());
+  }
+  std::sort(result.latencies.begin(), result.latencies.end());
+  return result;
+}
+
+void PrintClosedLoop(std::ostream& out, const std::string& label,
+                     const ClosedLoopResult& r) {
+  out << label << ": " << r.latencies.size() << " queries in "
+      << r.wall_seconds << "s = " << r.Qps() << " QPS, p50 "
+      << r.Percentile(0.50) * 1e6 << "us, p95 " << r.Percentile(0.95) * 1e6
+      << "us, p99 " << r.Percentile(0.99) * 1e6 << "us\n";
+}
+
+int CmdServeBench(const ArgParser& args, std::ostream& out) {
+  std::string task = args.GetString("task");
+  std::string model_path = args.GetString("model");
+  if (task.empty() || model_path.empty()) {
+    return Fail(out, "serve-bench requires --task and --model");
+  }
+  const size_t clients = static_cast<size_t>(args.GetInt("clients", 8));
+  const size_t per_client =
+      static_cast<size_t>(args.GetInt("queries-per-client", 2000));
+  const bool no_batching = args.HasFlag("no-batching");
+
+  serve::ServeOptions sopts;
+  sopts.max_batch = static_cast<size_t>(args.GetInt("max-batch", 64));
+  sopts.max_delay_us =
+      static_cast<uint32_t>(args.GetInt("max-delay-us", 200));
+  sopts.adaptive = args.HasFlag("adaptive");
+  sopts.min_delay_us =
+      static_cast<uint32_t>(args.GetInt("min-delay-us", 20));
+  sopts.num_shards = static_cast<size_t>(args.GetInt("num-shards", 1));
+  if (args.GetString("shard-by", "round-robin") == "hash") {
+    sopts.shard_by = serve::ShardBy::kHash;
+  }
+
+  auto reader = BinaryReader::FromFile(model_path);
+  if (!reader.ok()) return Fail(out, reader.status().ToString());
+  auto magic = reader->ReadString();
+  if (!magic.ok() || *magic != kMagic) {
+    return Fail(out, "not a model file: " + model_path);
+  }
+  auto stored_task = reader->ReadString();
+  if (!stored_task.ok()) return Fail(out, stored_task.status().ToString());
+  if (*stored_task != task) {
+    return Fail(out, "model was built for task '" + *stored_task +
+                         "', not '" + task + "'");
+  }
+  auto dict = sets::Dictionary::Load(&*reader);
+  if (!dict.ok()) return Fail(out, dict.status().ToString());
+
+  auto queries = SyntheticQueries(
+      dict->size(), std::max<size_t>(clients * per_client, 1),
+      static_cast<uint64_t>(args.GetInt("seed", 42)));
+  out << "serve-bench " << task << ": " << clients << " closed-loop clients x "
+      << per_client << " queries, "
+      << (no_batching
+              ? std::string("batching BYPASSED (one forward per query)")
+              : "max_batch " + std::to_string(sopts.max_batch) +
+                    ", max_delay " + std::to_string(sopts.max_delay_us) +
+                    "us" + (sopts.adaptive ? " (adaptive)" : "") +
+                    ", shards " + std::to_string(sopts.num_shards))
+      << "\n";
+
+  if (task == TaskNames::kCardinality) {
+    auto est = core::LearnedCardinalityEstimator::Load(&*reader);
+    if (!est.ok()) return Fail(out, est.status().ToString());
+    ClosedLoopResult r;
+    if (no_batching) {
+      r = RunClosedLoop(clients, per_client, queries,
+                        [&](const sets::Query& q) { est->Estimate(q.view()); });
+    } else {
+      auto service = serve::CardinalityService::Create(&est.value(), sopts);
+      if (!service.ok()) return Fail(out, service.status().ToString());
+      r = RunClosedLoop(clients, per_client, queries,
+                        [&](const sets::Query& q) {
+                          (*service)->Submit(q).get();
+                        });
+      (*service)->Shutdown();
+    }
+    PrintClosedLoop(out, "cardinality", r);
+    return 0;
+  }
+  if (task == TaskNames::kIndex) {
+    auto collection = sets::SetCollection::Load(&*reader);
+    if (!collection.ok()) return Fail(out, collection.status().ToString());
+    auto index = core::LearnedSetIndex::Load(&*reader, *collection);
+    if (!index.ok()) return Fail(out, index.status().ToString());
+    ClosedLoopResult r;
+    if (no_batching) {
+      r = RunClosedLoop(clients, per_client, queries,
+                        [&](const sets::Query& q) { index->Lookup(q.view()); });
+    } else {
+      auto service =
+          serve::IndexService::Create(&index.value(), *collection, sopts);
+      if (!service.ok()) return Fail(out, service.status().ToString());
+      r = RunClosedLoop(clients, per_client, queries,
+                        [&](const sets::Query& q) {
+                          (*service)->Submit(q).get();
+                        });
+      (*service)->Shutdown();
+    }
+    PrintClosedLoop(out, "index", r);
+    return 0;
+  }
+  if (task == TaskNames::kBloom) {
+    auto lbf = core::LearnedBloomFilter::Load(&*reader);
+    if (!lbf.ok()) return Fail(out, lbf.status().ToString());
+    ClosedLoopResult r;
+    if (no_batching) {
+      r = RunClosedLoop(clients, per_client, queries, [&](const sets::Query& q) {
+        lbf->MayContain(q.view());
+      });
+    } else {
+      auto service = serve::BloomService::Create(&lbf.value(), sopts);
+      if (!service.ok()) return Fail(out, service.status().ToString());
+      r = RunClosedLoop(clients, per_client, queries,
+                        [&](const sets::Query& q) {
+                          (*service)->Submit(q).get();
+                        });
+      (*service)->Shutdown();
+    }
+    PrintClosedLoop(out, "bloom", r);
+    return 0;
+  }
+  return Fail(out, "unknown task: " + task);
+}
+
 constexpr char kUsage[] =
     "usage: los <command> [--key=value ...]\n"
     "commands:\n"
@@ -246,6 +447,12 @@ constexpr char kUsage[] =
     "           [--compressed] [--hybrid] [--epochs=N]\n"
     "           [--max-subset-size=K] [--keep-fraction=P]\n"
     "  query    --task=<...> --model=M --query=\"a b c\" [--query=...]\n"
+    "  serve-bench --task=<...> --model=M [--clients=N]\n"
+    "           [--queries-per-client=N] [--max-batch=N] [--max-delay-us=T]\n"
+    "           [--adaptive] [--min-delay-us=T] [--num-shards=K]\n"
+    "           [--shard-by=<round-robin|hash>] [--no-batching] [--seed=N]\n"
+    "           closed-loop load through the micro-batching serving layer\n"
+    "           (--no-batching bypasses it: one forward per query)\n"
     "options:\n"
     "  --metrics  after any command, dump serving-path metrics (one JSON\n"
     "             object per line) collected during the run\n"
@@ -346,6 +553,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     rc = CmdBuild(parser, out);
   } else if (cmd == "query") {
     rc = CmdQuery(parser, out);
+  } else if (cmd == "serve-bench") {
+    rc = CmdServeBench(parser, out);
   } else {
     out << "unknown command: " << cmd << "\n" << kUsage;
     return 1;

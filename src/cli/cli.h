@@ -19,6 +19,9 @@ namespace los::cli {
 ///            [--keep-fraction=P]
 ///   query    --task=<cardinality|index|bloom> --model=M --input=F
 ///            --query="a b c" [--query=...]
+///   serve-bench --task=<cardinality|index|bloom> --model=M [--clients=N]
+///            [--queries-per-client=N] [--max-batch=N] [--max-delay-us=T]
+///            [--adaptive] [--num-shards=K] [--no-batching]
 ///
 /// Set files are text: one set per line, whitespace-separated tokens, `#`
 /// comments. Model files bundle the dictionary with the trained structure,

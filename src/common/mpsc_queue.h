@@ -1,0 +1,187 @@
+#ifndef LOS_COMMON_MPSC_QUEUE_H_
+#define LOS_COMMON_MPSC_QUEUE_H_
+
+// Bounded multi-producer single-consumer queue — the serving layer's
+// submission path (client threads produce, one micro-batcher worker per
+// shard consumes).
+//
+// Design:
+//   - The ring itself is a Vyukov-style bounded queue: each cell carries a
+//     sequence number, so the uncontended TryPush/TryPop path is a handful
+//     of relaxed/acquire/release atomics — no lock is taken while the queue
+//     is neither empty nor full.
+//   - Blocking is layered on top with one mutex + two condvars that are
+//     only touched on the slow paths (queue empty for the consumer, queue
+//     full for a producer — the latter is the serving layer's
+//     backpressure). Producers check a consumer-waiting flag *after*
+//     publishing (both seq_cst, so either the consumer's recheck sees the
+//     item or the producer sees the flag); waiters additionally bound every
+//     sleep, so a pathological lost wakeup costs one timeout period, never
+//     a hang.
+//   - Close() wakes everyone; TryPush/Push fail once closed, and the
+//     consumer can keep draining what is already buffered.
+//
+// T must be default-constructible and movable (the serving layer's request
+// records are). Capacity is rounded up to a power of two.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace los {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer count minus consumer count; exact only when quiescent.
+  size_t SizeApprox() const {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Marks the queue closed and wakes every waiter. Items already buffered
+  /// remain poppable; further pushes fail.
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_nonempty_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  /// Non-blocking push. On failure (full or closed) `v` is left intact.
+  bool TryPush(T&& v) {
+    if (closed()) return false;
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->data = std::move(v);
+    // seq_cst publish orders this store against the consumer_waiting_ load
+    // below: either the consumer's post-flag recheck pops this item, or
+    // this producer observes the flag and notifies.
+    cell->seq.store(pos + 1, std::memory_order_seq_cst);
+    if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_nonempty_.notify_one();
+    }
+    return true;
+  }
+
+  /// Blocking push: waits for space while the queue is full (backpressure).
+  /// Returns false only when the queue is closed.
+  bool Push(T&& v) {
+    for (;;) {
+      if (TryPush(std::move(v))) return true;
+      if (closed()) return false;
+      std::unique_lock<std::mutex> lock(mu_);
+      producers_waiting_.fetch_add(1, std::memory_order_seq_cst);
+      // Bounded wait: the consumer notifies after each pop, and the timeout
+      // caps the cost of any missed notification.
+      cv_space_.wait_for(lock, std::chrono::microseconds(200));
+      producers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Single-consumer non-blocking pop.
+  bool TryPop(T* out) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    size_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;  // empty
+    }
+    head_.store(pos + 1, std::memory_order_relaxed);
+    *out = std::move(cell->data);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    // Notify WITHOUT taking mu_: PopUntil calls TryPop while holding it, so
+    // locking here would self-deadlock. The unlocked notify can race a
+    // producer between its waiting-count increment and its wait, but
+    // producer waits are bounded (200us), so a miss costs latency, never a
+    // hang.
+    if (producers_waiting_.load(std::memory_order_seq_cst) > 0) {
+      cv_space_.notify_all();
+    }
+    return true;
+  }
+
+  /// Single-consumer pop that blocks until an item arrives, `deadline`
+  /// passes, or the queue is closed while empty. Callers that must react to
+  /// their own deadlines (the micro-batcher) should pass a bounded one.
+  bool PopUntil(T* out, std::chrono::steady_clock::time_point deadline) {
+    if (TryPop(out)) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      consumer_waiting_.store(true, std::memory_order_seq_cst);
+      if (TryPop(out)) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        return true;
+      }
+      if (closed()) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        return TryPop(out);
+      }
+      if (cv_nonempty_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        return TryPop(out);
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T data;
+  };
+
+  size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  // Producer and consumer cursors on separate cache lines from each other
+  // and the waiter plumbing.
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<uint32_t> producers_waiting_{0};
+  std::mutex mu_;
+  std::condition_variable cv_nonempty_;
+  std::condition_variable cv_space_;
+};
+
+}  // namespace los
+
+#endif  // LOS_COMMON_MPSC_QUEUE_H_

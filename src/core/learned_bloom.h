@@ -34,6 +34,12 @@ struct BloomOptions {
 /// \brief Learned set Bloom filter: classification DeepSets model plus a
 /// backup Bloom filter holding the model's false negatives, so that — like
 /// a classical Bloom filter — no trained positive is ever reported absent.
+///
+/// Thread safety: MayContain / MayContainMulti / Probability are safe from
+/// concurrent reader threads. The backup filter and threshold are read-only
+/// after Build/Load, metrics are atomic, and the model's mutable scratch
+/// state is serialized by SetModel's inference mutex (see serve/serving.h
+/// for parallel replicas).
 class LearnedBloomFilter {
  public:
   /// Builds from a collection. Positives are all subsets up to

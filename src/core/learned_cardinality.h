@@ -26,6 +26,13 @@ struct CardinalityOptions {
 /// \brief Learned set cardinality estimator: LSM/CLSM regression model, with
 /// an optional hybrid auxiliary OutlierMap serving evicted training subsets
 /// exactly.
+///
+/// Thread safety: Estimate / EstimateBatch are safe to call from concurrent
+/// reader threads. The aux map and scaler are read-only after Build/Load,
+/// metrics are atomic, and the only mutable state — the model's scratch
+/// buffers and activation caches — is serialized by SetModel's inference
+/// mutex (concurrent forwards take turns; use serve/serving.h shard
+/// replicas for parallel forwards).
 class LearnedCardinalityEstimator {
  public:
   /// Enumerates training subsets from the collection and trains.

@@ -36,6 +36,14 @@ struct IndexOptions {
 /// e_r, and scan S[est - e_r .. est + e_r] left-to-right for the first
 /// superset. The collection is referenced, not copied — it must outlive the
 /// index.
+///
+/// Thread safety: Lookup / LookupEqual / LookupBatch / EstimatePosition are
+/// safe from concurrent reader threads — the aux B+ tree, error bounds,
+/// scaler and collection are read-only at serving time, metrics are atomic,
+/// and the model's mutable scratch state is serialized by SetModel's
+/// inference mutex (see serve/serving.h for parallel replicas). The one
+/// mutating entry point, AbsorbUpdatedSet, writes the aux tree and must not
+/// run concurrently with readers.
 class LearnedSetIndex {
  public:
   /// Per-lookup observability for benches/tests.

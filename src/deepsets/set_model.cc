@@ -15,6 +15,7 @@ constexpr size_t kMaxBatchElements = 1 << 16;
 }  // namespace
 
 double SetModel::PredictOne(sets::SetView s) {
+  std::lock_guard<std::mutex> lock(infer_mu_);
   scratch_ids_.assign(s.begin(), s.end());
   scratch_offsets_.clear();
   scratch_offsets_.push_back(0);
@@ -36,6 +37,7 @@ void SetModel::FlushScratch(std::vector<double>* out) {
 
 void SetModel::PredictBatch(const sets::SetView* views, size_t count,
                             std::vector<double>* out) {
+  std::lock_guard<std::mutex> lock(infer_mu_);
   out->reserve(out->size() + count);
   scratch_ids_.clear();
   scratch_offsets_.clear();
@@ -61,6 +63,7 @@ std::vector<double> SetModel::PredictBatch(
 void SetModel::PredictBatchCsr(const std::vector<sets::ElementId>& ids,
                                const std::vector<int64_t>& offsets,
                                std::vector<double>* out) {
+  std::lock_guard<std::mutex> lock(infer_mu_);
   if (offsets.size() <= 1) return;
   const size_t num_sets = offsets.size() - 1;
   out->reserve(out->size() + num_sets);

@@ -1,6 +1,7 @@
 #ifndef LOS_DEEPSETS_SET_MODEL_H_
 #define LOS_DEEPSETS_SET_MODEL_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,14 @@ namespace los::deepsets {
 /// recent Forward's cached activations, so one model serves one training
 /// thread at a time; the kernels inside Forward/Backward fan out over the
 /// shared thread pool with bit-deterministic results.
+///
+/// Thread safety at serving time: the Predict* entry points share scratch
+/// CSR buffers and every Forward rewrites the activation caches, so they
+/// serialize on an internal inference mutex — concurrent Predict* calls
+/// from many threads are safe but take turns. Callers that need parallel
+/// forwards run one model replica per thread (see serve/serving.h's shard
+/// replicas). Raw Forward/Backward remain unsynchronized: they are the
+/// single-threaded training path.
 class SetModel {
  public:
   virtual ~SetModel() = default;
@@ -53,12 +62,14 @@ class SetModel {
 
   /// Predicts the scalar for a single set (convenience around Forward).
   /// Reuses internal scratch buffers, so repeated calls do not allocate.
+  /// Thread-safe (serialized on the inference mutex).
   double PredictOne(sets::SetView s);
 
   /// Batched inference: appends one prediction per set to `out`. Large
   /// batches are split into bounded sub-batches internally (reusing one
   /// scratch CSR buffer per model), so arbitrarily many sets can be served
   /// without unbounded intermediate tensors or per-query allocation churn.
+  /// Thread-safe (serialized on the inference mutex).
   void PredictBatch(const sets::SetView* views, size_t count,
                     std::vector<double>* out);
   std::vector<double> PredictBatch(const std::vector<sets::SetView>& views);
@@ -66,6 +77,7 @@ class SetModel {
   /// Batched inference over an already-flattened CSR batch (`offsets` has
   /// num_sets + 1 entries into `ids`); appends one prediction per set to
   /// `out`. Used by the trainer and the learned structures' batch lookups.
+  /// Thread-safe (serialized on the inference mutex).
   void PredictBatchCsr(const std::vector<sets::ElementId>& ids,
                        const std::vector<int64_t>& offsets,
                        std::vector<double>* out);
@@ -74,7 +86,13 @@ class SetModel {
   /// Runs Forward on a prepared scratch batch and appends the outputs.
   void FlushScratch(std::vector<double>* out);
 
-  // Reused across PredictOne/PredictBatch calls.
+  /// Serializes the Predict* entry points: they share the scratch buffers
+  /// below and the implementations' activation caches. PredictOne,
+  /// PredictBatch(ptr, count) and PredictBatchCsr each take it exactly once
+  /// at their outermost level (the other overloads delegate).
+  std::mutex infer_mu_;
+
+  // Reused across PredictOne/PredictBatch calls; guarded by infer_mu_.
   std::vector<sets::ElementId> scratch_ids_;
   std::vector<int64_t> scratch_offsets_;
 };

@@ -33,10 +33,12 @@ constexpr int64_t kNc = 1024;
 
 // The blocked path needs enough output rows to amortize packing B (cost
 // ~k*n) and at least one full kNr strip of useful columns (a 1-wide output
-// head would compute kNr-1 padded lanes for nothing). Everything else — the
-// tiny per-set matrices of single-query forwards — takes the plain i-k-j
-// loop.
-constexpr int64_t kBlockedMinRows = 12;
+// head would compute kNr-1 padded lanes for nothing). Below the row cutoff
+// GemmSmall handles the problem with the unpacked register-tile kernel (or
+// the plain i-k-j loop for one row); the cutoff tracks the tiled path's row
+// cap — measured per-row throughput at the boundary (two unpacked 8-row
+// tiles vs packed panels) favors the tiled kernel until ~2 full tiles.
+constexpr int64_t kBlockedMinRows = 17;
 constexpr int64_t kBlockedMinWork = 32 * 32 * 32;
 
 // Minimum row tiles per chunk when threading a GEMM, and minimum
@@ -118,12 +120,127 @@ inline void MicroKernel(int64_t kc, const float* __restrict ap,
   }
 }
 
+/// Tile height for the unpacked register-tile path in GemmSmall. Taller
+/// than the blocked kernel's kMr on purpose: with AVX-512 (32 vector regs)
+/// an 8 x kNr accumulator still fits the register file, and a serving
+/// micro-batch of 8 queries then runs as a SINGLE tile — one streaming pass
+/// over op(B), which is the whole game for weight matrices too large for
+/// cache.
+constexpr int64_t kSmallTileRows = 8;
+
+/// Row cap for the unpacked register-tile path in GemmSmall. Past this the
+/// blocked kernel's packed panels win: each extra kSmallTileRows row tile
+/// re-streams op(B) from memory, so by ~2 tiles the packing cost (~one
+/// extra pass over B) has paid for itself.
+constexpr int64_t kSmallTiledMaxRows = 16;
+
+/// Register-tile micro-kernel over UNPACKED operands for micro-batch row
+/// counts (2..kSmallTiledMaxRows). Same kMr x kNr accumulator shape as the
+/// blocked kernel — so the same near-peak FMA throughput — but reads B
+/// in-place: a kNr-column strip of B is walked down k with a software
+/// prefetch hiding the L3 latency of the row-stride jumps. This skips the
+/// packing pass entirely, which dominates blocked-kernel time at small m
+/// (packing costs ~k*n regardless of row count).
+///
+/// Determinism: the accumulator is seeded from C and each element then
+/// accumulates in strictly increasing k order — the exact order GemmSmall's
+/// scalar loop and the blocked kernel use — so results are bit-identical
+/// whichever path the dispatch picks (batch/serve consistency relies on
+/// this; see GemmTest.PerRowResultsAreShapeInvariant).
+template <int kRows>
+void SmallTileRows(const float* ad, int64_t a_cols, bool trans_a,
+                   const float* bd, int64_t b_cols, float alpha, int64_t i0,
+                   int64_t n, int64_t k, float* cd) {
+  for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+    const int64_t nr = std::min(kNr, n - j0);
+    float acc[kRows * kNr];
+    for (int64_t i = 0; i < kRows; ++i) {
+      for (int64_t j = 0; j < nr; ++j) {
+        acc[i * kNr + j] = cd[(i0 + i) * n + j0 + j];
+      }
+    }
+    const float* bs = bd + j0;
+    if (nr == kNr) {
+      // Constexpr trip counts keep `acc` in vector registers.
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* __restrict brow = bs + kk * b_cols;
+        __builtin_prefetch(brow + 8 * b_cols, 0, 0);
+        __builtin_prefetch(brow + 8 * b_cols + 16, 0, 0);
+        for (int64_t i = 0; i < kRows; ++i) {
+          const float av = alpha * AAt(ad, a_cols, trans_a, i0 + i, kk);
+          float* __restrict arow = acc + i * kNr;
+          for (int64_t j = 0; j < kNr; ++j) arow[j] += av * brow[j];
+        }
+      }
+    } else {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* __restrict brow = bs + kk * b_cols;
+        for (int64_t i = 0; i < kRows; ++i) {
+          const float av = alpha * AAt(ad, a_cols, trans_a, i0 + i, kk);
+          float* __restrict arow = acc + i * kNr;
+          for (int64_t j = 0; j < nr; ++j) arow[j] += av * brow[j];
+        }
+      }
+    }
+    for (int64_t i = 0; i < kRows; ++i) {
+      for (int64_t j = 0; j < nr; ++j) {
+        cd[(i0 + i) * n + j0 + j] = acc[i * kNr + j];
+      }
+    }
+  }
+}
+
+void GemmSmallTiled(const float* ad, int64_t a_cols, bool trans_a,
+                    const float* bd, int64_t b_cols, float alpha, int64_t m,
+                    int64_t n, int64_t k, float* cd) {
+  for (int64_t i0 = 0; i0 < m; i0 += kSmallTileRows) {
+    // Dispatch on the tile's row count so even edge tiles run with
+    // constexpr loop bounds and a register-resident accumulator.
+    switch (std::min(kSmallTileRows, m - i0)) {
+      case 1:
+        SmallTileRows<1>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      case 2:
+        SmallTileRows<2>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      case 3:
+        SmallTileRows<3>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      case 4:
+        SmallTileRows<4>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      case 5:
+        SmallTileRows<5>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      case 6:
+        SmallTileRows<6>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      case 7:
+        SmallTileRows<7>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+      default:
+        SmallTileRows<8>(ad, a_cols, trans_a, bd, b_cols, alpha, i0, n, k, cd);
+        break;
+    }
+  }
+}
+
 /// Simple i-k-j kernel for problems too small to amortize packing. Unlike
 /// the original seed kernel there is no data-dependent `av == 0` branch, so
-/// the inner loop always vectorizes to contiguous FMAs.
+/// the inner loop always vectorizes to contiguous FMAs. Micro-batch shapes
+/// (2..kSmallTiledMaxRows rows, untransposed B) divert to GemmSmallTiled,
+/// which produces bit-identical results (same increasing-k accumulation
+/// order) at several times the throughput — i-k-j re-streams all of B from
+/// L3 once per output row, which made wide-model micro-batches (the serving
+/// layer's bread and butter) pay m times the memory traffic of a single
+/// query.
 void GemmSmall(const float* ad, int64_t a_cols, bool trans_a, const float* bd,
                int64_t b_cols, bool trans_b, float alpha, int64_t m, int64_t n,
                int64_t k, float* cd) {
+  if (!trans_b && m > 1 && m <= kSmallTiledMaxRows) {
+    GemmSmallTiled(ad, a_cols, trans_a, bd, b_cols, alpha, m, n, k, cd);
+    return;
+  }
   for (int64_t i = 0; i < m; ++i) {
     float* crow = cd + i * n;
     for (int64_t kk = 0; kk < k; ++kk) {

@@ -1,0 +1,142 @@
+#include "serve/serving.h"
+
+#include <string>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace los::serve {
+
+namespace {
+
+/// In-memory Save/Load round-trip: the cheapest correct way to give each
+/// shard private model state (weights are identical; scratch buffers,
+/// activation caches and the inference mutex are per-clone).
+Result<std::unique_ptr<core::LearnedCardinalityEstimator>> CloneEstimator(
+    const core::LearnedCardinalityEstimator& primary) {
+  BinaryWriter w;
+  primary.Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = core::LearnedCardinalityEstimator::Load(&r);
+  if (!loaded.ok()) return loaded.status();
+  return std::make_unique<core::LearnedCardinalityEstimator>(
+      std::move(loaded).value());
+}
+
+Result<std::unique_ptr<core::LearnedSetIndex>> CloneIndex(
+    const core::LearnedSetIndex& primary,
+    const sets::SetCollection& collection) {
+  BinaryWriter w;
+  primary.Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = core::LearnedSetIndex::Load(&r, collection);
+  if (!loaded.ok()) return loaded.status();
+  return std::make_unique<core::LearnedSetIndex>(std::move(loaded).value());
+}
+
+Result<std::unique_ptr<core::LearnedBloomFilter>> CloneBloom(
+    const core::LearnedBloomFilter& primary) {
+  BinaryWriter w;
+  primary.Save(&w);
+  BinaryReader r(w.bytes());
+  auto loaded = core::LearnedBloomFilter::Load(&r);
+  if (!loaded.ok()) return loaded.status();
+  return std::make_unique<core::LearnedBloomFilter>(
+      std::move(loaded).value());
+}
+
+size_t NormalizedShards(const ServeOptions& opts) {
+  return opts.num_shards > 0 ? opts.num_shards : 1;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CardinalityService>> CardinalityService::Create(
+    core::LearnedCardinalityEstimator* primary, const ServeOptions& opts,
+    MetricsRegistry* registry) {
+  if (primary == nullptr) {
+    return Status::InvalidArgument("CardinalityService: primary is null");
+  }
+  auto service = std::unique_ptr<CardinalityService>(new CardinalityService());
+  const size_t shards = NormalizedShards(opts);
+  std::vector<BatchServer<double>::BatchFn> fns;
+  fns.reserve(shards);
+  fns.push_back([primary](const std::vector<sets::Query>& qs) {
+    return primary->EstimateBatch(qs);
+  });
+  for (size_t i = 1; i < shards; ++i) {
+    auto clone = CloneEstimator(*primary);
+    if (!clone.ok()) return clone.status();
+    core::LearnedCardinalityEstimator* replica = clone.value().get();
+    replica->SetMetricsRegistry(registry ? registry
+                                         : MetricsRegistry::Global());
+    service->replicas_.push_back(std::move(clone).value());
+    fns.push_back([replica](const std::vector<sets::Query>& qs) {
+      return replica->EstimateBatch(qs);
+    });
+  }
+  service->server_ = std::make_unique<BatchServer<double>>(
+      "cardinality", std::move(fns), opts, registry);
+  return service;
+}
+
+Result<std::unique_ptr<IndexService>> IndexService::Create(
+    core::LearnedSetIndex* primary, const sets::SetCollection& collection,
+    const ServeOptions& opts, MetricsRegistry* registry) {
+  if (primary == nullptr) {
+    return Status::InvalidArgument("IndexService: primary is null");
+  }
+  auto service = std::unique_ptr<IndexService>(new IndexService());
+  const size_t shards = NormalizedShards(opts);
+  std::vector<BatchServer<int64_t>::BatchFn> fns;
+  fns.reserve(shards);
+  fns.push_back([primary](const std::vector<sets::Query>& qs) {
+    return primary->LookupBatch(qs);
+  });
+  for (size_t i = 1; i < shards; ++i) {
+    auto clone = CloneIndex(*primary, collection);
+    if (!clone.ok()) return clone.status();
+    core::LearnedSetIndex* replica = clone.value().get();
+    replica->SetMetricsRegistry(registry ? registry
+                                         : MetricsRegistry::Global());
+    service->replicas_.push_back(std::move(clone).value());
+    fns.push_back([replica](const std::vector<sets::Query>& qs) {
+      return replica->LookupBatch(qs);
+    });
+  }
+  service->server_ = std::make_unique<BatchServer<int64_t>>(
+      "index", std::move(fns), opts, registry);
+  return service;
+}
+
+Result<std::unique_ptr<BloomService>> BloomService::Create(
+    core::LearnedBloomFilter* primary, const ServeOptions& opts,
+    MetricsRegistry* registry) {
+  if (primary == nullptr) {
+    return Status::InvalidArgument("BloomService: primary is null");
+  }
+  auto service = std::unique_ptr<BloomService>(new BloomService());
+  const size_t shards = NormalizedShards(opts);
+  std::vector<BatchServer<bool>::BatchFn> fns;
+  fns.reserve(shards);
+  auto wrap = [](core::LearnedBloomFilter* bf) {
+    return [bf](const std::vector<sets::Query>& qs) {
+      return std::move(bf->MayContainMulti(qs).verdicts);
+    };
+  };
+  fns.push_back(wrap(primary));
+  for (size_t i = 1; i < shards; ++i) {
+    auto clone = CloneBloom(*primary);
+    if (!clone.ok()) return clone.status();
+    core::LearnedBloomFilter* replica = clone.value().get();
+    replica->SetMetricsRegistry(registry ? registry
+                                         : MetricsRegistry::Global());
+    service->replicas_.push_back(std::move(clone).value());
+    fns.push_back(wrap(replica));
+  }
+  service->server_ = std::make_unique<BatchServer<bool>>(
+      "bloom", std::move(fns), opts, registry);
+  return service;
+}
+
+}  // namespace los::serve

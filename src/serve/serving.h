@@ -1,0 +1,102 @@
+#ifndef LOS_SERVE_SERVING_H_
+#define LOS_SERVE_SERVING_H_
+
+// Typed serving frontends over BatchServer for the three learned
+// structures. Each service owns:
+//   - shard replicas: for num_shards > 1, shards beyond the first are
+//     private clones of the primary structure made by a Save/Load
+//     round-trip in memory, so every shard has its own SetModel (and thus
+//     its own inference mutex and scratch buffers) — shared-nothing on
+//     exactly the state that serializes forwards. The collection backing a
+//     LearnedSetIndex is immutable at serving time and stays shared.
+//   - one BatchServer that queues, micro-batches and routes to the
+//     replicas' batched entry points (EstimateBatch / LookupBatch /
+//     MayContainMulti).
+//
+// The primary structure is borrowed, not owned, and must outlive the
+// service; it serves shard 0. Shutdown() (or destruction) drains in-flight
+// requests before returning, so futures returned by Submit never dangle.
+
+#include <memory>
+#include <vector>
+
+#include "core/learned_bloom.h"
+#include "core/learned_cardinality.h"
+#include "core/learned_index.h"
+#include "serve/batch_server.h"
+
+namespace los::serve {
+
+/// \brief Concurrent cardinality-estimation frontend.
+class CardinalityService {
+ public:
+  /// `registry` receives the `serve.cardinality.*` instruments and is
+  /// injected into the cloned replicas (the primary's registry is the
+  /// caller's to configure); nullptr means MetricsRegistry::Global().
+  static Result<std::unique_ptr<CardinalityService>> Create(
+      core::LearnedCardinalityEstimator* primary, const ServeOptions& opts,
+      MetricsRegistry* registry = nullptr);
+
+  BatchFuture<double> Submit(sets::Query q) {
+    return server_->Submit(std::move(q));
+  }
+  bool TrySubmit(sets::Query q, BatchFuture<double>* out) {
+    return server_->TrySubmit(std::move(q), out);
+  }
+  void Shutdown() { server_->Shutdown(); }
+  BatchServer<double>* server() { return server_.get(); }
+
+ private:
+  CardinalityService() = default;
+  std::vector<std::unique_ptr<core::LearnedCardinalityEstimator>> replicas_;
+  std::unique_ptr<BatchServer<double>> server_;
+};
+
+/// \brief Concurrent first-superset-lookup frontend. `collection` must be
+/// the collection the primary index was built over (replicas rebind to it).
+class IndexService {
+ public:
+  static Result<std::unique_ptr<IndexService>> Create(
+      core::LearnedSetIndex* primary, const sets::SetCollection& collection,
+      const ServeOptions& opts, MetricsRegistry* registry = nullptr);
+
+  BatchFuture<int64_t> Submit(sets::Query q) {
+    return server_->Submit(std::move(q));
+  }
+  bool TrySubmit(sets::Query q, BatchFuture<int64_t>* out) {
+    return server_->TrySubmit(std::move(q), out);
+  }
+  void Shutdown() { server_->Shutdown(); }
+  BatchServer<int64_t>* server() { return server_.get(); }
+
+ private:
+  IndexService() = default;
+  std::vector<std::unique_ptr<core::LearnedSetIndex>> replicas_;
+  std::unique_ptr<BatchServer<int64_t>> server_;
+};
+
+/// \brief Concurrent set-membership frontend.
+class BloomService {
+ public:
+  static Result<std::unique_ptr<BloomService>> Create(
+      core::LearnedBloomFilter* primary, const ServeOptions& opts,
+      MetricsRegistry* registry = nullptr);
+
+  BatchFuture<bool> Submit(sets::Query q) {
+    return server_->Submit(std::move(q));
+  }
+  bool TrySubmit(sets::Query q, BatchFuture<bool>* out) {
+    return server_->TrySubmit(std::move(q), out);
+  }
+  void Shutdown() { server_->Shutdown(); }
+  BatchServer<bool>* server() { return server_.get(); }
+
+ private:
+  BloomService() = default;
+  std::vector<std::unique_ptr<core::LearnedBloomFilter>> replicas_;
+  std::unique_ptr<BatchServer<bool>> server_;
+};
+
+}  // namespace los::serve
+
+#endif  // LOS_SERVE_SERVING_H_

@@ -28,9 +28,11 @@ import sys
 _MEASUREMENT_SUFFIXES = ("_s", "_ms", "_us", "_mb", "_bytes", "_per_s")
 _ATTACHMENTS = {"samples", "metrics", "provenance"}
 
-# Keys gated on regression: medians are stable; p95 is reported but only
-# informational (single-digit sample counts make tails too noisy to gate).
-_GATE_KEYS = ("median_s", "median_ms")
+# Keys gated on regression: medians are stable; the p99 tail is gated too
+# for records that carry it (serving benches accumulate thousands of
+# per-request samples, so their tail is meaningful). p95 stays
+# informational (single-digit sample counts make it too noisy to gate).
+_GATE_KEYS = ("median_s", "median_ms", "p99_s", "p99_ms")
 _GATE_PREFIXES = ()
 
 
@@ -158,7 +160,7 @@ def validate(path):
                     problems.append("%s: provenance missing \"%s\""
                                     % (where, field))
         if "samples" in record:
-            for field in ("median_s", "p95_s"):
+            for field in ("median_s", "p95_s", "p99_s"):
                 if field not in record:
                     problems.append("%s: has samples but no %s"
                                     % (where, field))
