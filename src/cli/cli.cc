@@ -12,6 +12,7 @@
 #include "core/learned_bloom.h"
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
+#include "core/updatable.h"
 #include "serve/serving.h"
 #include "sets/generators.h"
 #include "sets/set_io.h"
@@ -438,6 +439,158 @@ int CmdServeBench(const ArgParser& args, std::ostream& out) {
   return Fail(out, "unknown task: " + task);
 }
 
+/// Random replacement/insert payloads for update-bench: sets of 3..8
+/// elements over twice the input vocabulary, so roughly half the streamed
+/// elements are novel and the absorb path has real work to do.
+std::vector<sets::ElementId> UpdatePayload(size_t vocab, Rng* rng) {
+  std::vector<sets::ElementId> elems;
+  size_t size = 3 + rng->Uniform(6);
+  for (size_t j = 0; j < size; ++j) {
+    elems.push_back(static_cast<sets::ElementId>(
+        rng->Uniform(std::max<size_t>(2 * vocab, 2))));
+  }
+  sets::Canonicalize(&elems);
+  return elems;
+}
+
+int CmdUpdateBench(const ArgParser& args, std::ostream& out) {
+  std::string task = args.GetString("task");
+  std::string input = args.GetString("input");
+  if (task.empty() || input.empty()) {
+    return Fail(out, "update-bench requires --task and --input");
+  }
+  const size_t clients = static_cast<size_t>(args.GetInt("clients", 4));
+  const size_t per_client =
+      static_cast<size_t>(args.GetInt("queries-per-client", 2000));
+  const size_t updates = static_cast<size_t>(args.GetInt("updates", 200));
+  const size_t rebuild_after =
+      static_cast<size_t>(args.GetInt("rebuild-after", 500));
+  const std::string checkpoint = args.GetString("checkpoint");
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  auto data = sets::ReadSetsFile(input);
+  if (!data.ok()) return Fail(out, data.status().ToString());
+  if (data->collection.empty()) return Fail(out, "input has no sets");
+  const size_t num_sets = data->collection.size();
+  const size_t vocab = data->dictionary.size();
+
+  serve::ServeOptions sopts;
+  sopts.max_batch = static_cast<size_t>(args.GetInt("max-batch", 64));
+  sopts.max_delay_us =
+      static_cast<uint32_t>(args.GetInt("max-delay-us", 200));
+  sopts.min_delay_us =
+      static_cast<uint32_t>(args.GetInt("min-delay-us", 20));
+
+  core::UpdatableOptions update_opts;
+  update_opts.rebuild_after_absorbed = rebuild_after;
+  update_opts.checkpoint_path = checkpoint;
+  update_opts.trainer_nice = 10;
+
+  core::TrainConfig train = TrainFromArgs(args);
+  train.epochs = static_cast<int>(args.GetInt("epochs", 4));
+  const size_t max_subset =
+      static_cast<size_t>(args.GetInt("max-subset-size", 2));
+
+  auto queries = SyntheticQueries(vocab, std::max<size_t>(clients, 1) * 64,
+                                  seed);
+  out << "update-bench " << task << ": " << num_sets << " sets, " << clients
+      << " closed-loop clients x " << per_client << " queries, " << updates
+      << " streamed updates, retrain threshold " << rebuild_after << "\n";
+
+  // One closed-loop run with the update stream interleaved: the updater
+  // applies `updates` deltas back-to-back on its own thread while clients
+  // query through the batched live service; background retrains swap
+  // generations whenever the absorb threshold is crossed.
+  auto run = [&](const std::function<void(const sets::Query&)>& submit,
+                 const std::function<void(size_t)>& apply,
+                 const std::function<uint64_t()>& generation,
+                 const std::function<uint64_t()>& rebuilds,
+                 const std::function<void()>& wait) -> int {
+    auto before = RunClosedLoop(clients, per_client, queries, submit);
+    PrintClosedLoop(out, task + " steady", before);
+
+    std::thread updater([&] {
+      core::LowerThreadPriority(5);
+      for (size_t i = 0; i < updates; ++i) apply(i);
+    });
+    auto during = RunClosedLoop(clients, per_client, queries, submit);
+    updater.join();
+    PrintClosedLoop(out, task + " during updates", during);
+
+    wait();
+    auto after = RunClosedLoop(clients, per_client, queries, submit);
+    PrintClosedLoop(out, task + " after retrain", after);
+    out << "generation " << generation() << ", background rebuilds "
+        << rebuilds() << "\n";
+    if (!checkpoint.empty()) {
+      out << "newest generation checkpointed to " << checkpoint << "\n";
+    }
+    return 0;
+  };
+
+  Rng rng(seed + 1);
+  if (task == TaskNames::kCardinality) {
+    core::UpdatableCardinality::Options opts;
+    opts.cardinality.train = train;
+    opts.cardinality.max_subset_size = max_subset;
+    opts.update = update_opts;
+    auto live = core::UpdatableCardinality::Build(data->collection, opts);
+    if (!live.ok()) return Fail(out, live.status().ToString());
+    auto service = serve::CardinalityService::Create(live->get(), sopts);
+    if (!service.ok()) return Fail(out, service.status().ToString());
+    int rc = run(
+        [&](const sets::Query& q) { (*service)->Submit(q).get(); },
+        [&](size_t) { (*live)->Insert(UpdatePayload(vocab, &rng)); },
+        [&] { return (*live)->generation(); },
+        [&] { return (*live)->engine()->rebuilds(); },
+        [&] { (*live)->WaitForRebuilds(); });
+    (*service)->Shutdown();
+    return rc;
+  }
+  if (task == TaskNames::kIndex) {
+    core::UpdatableSetIndex::Options opts;
+    opts.index.train = train;
+    opts.index.max_subset_size = max_subset;
+    opts.index.hybrid = args.HasFlag("hybrid");
+    opts.publish_after_updates = 16;
+    opts.update = update_opts;
+    auto live = core::UpdatableSetIndex::Build(data->collection, opts);
+    if (!live.ok()) return Fail(out, live.status().ToString());
+    auto service = serve::IndexService::Create(live->get(), sopts);
+    if (!service.ok()) return Fail(out, service.status().ToString());
+    int rc = run(
+        [&](const sets::Query& q) { (*service)->Submit(q).get(); },
+        [&](size_t i) {
+          (void)(*live)->Update(i % num_sets, UpdatePayload(vocab, &rng));
+        },
+        [&] { return (*live)->generation(); },
+        [&] { return (*live)->engine()->rebuilds(); },
+        [&] { (*live)->WaitForRebuilds(); });
+    (*service)->Shutdown();
+    return rc;
+  }
+  if (task == TaskNames::kBloom) {
+    core::UpdatableBloom::Options opts;
+    opts.bloom.train = train;
+    opts.bloom.train.loss = core::LossKind::kBce;
+    opts.bloom.max_subset_size = max_subset;
+    opts.update = update_opts;
+    auto live = core::UpdatableBloom::Build(data->collection, opts);
+    if (!live.ok()) return Fail(out, live.status().ToString());
+    auto service = serve::BloomService::Create(live->get(), sopts);
+    if (!service.ok()) return Fail(out, service.status().ToString());
+    int rc = run(
+        [&](const sets::Query& q) { (*service)->Submit(q).get(); },
+        [&](size_t) { (*live)->Insert(UpdatePayload(vocab, &rng)); },
+        [&] { return (*live)->generation(); },
+        [&] { return (*live)->engine()->rebuilds(); },
+        [&] { (*live)->WaitForRebuilds(); });
+    (*service)->Shutdown();
+    return rc;
+  }
+  return Fail(out, "unknown task: " + task);
+}
+
 constexpr char kUsage[] =
     "usage: los <command> [--key=value ...]\n"
     "commands:\n"
@@ -453,6 +606,13 @@ constexpr char kUsage[] =
     "           [--shard-by=<round-robin|hash>] [--no-batching] [--seed=N]\n"
     "           closed-loop load through the micro-batching serving layer\n"
     "           (--no-batching bypasses it: one forward per query)\n"
+    "  update-bench --task=<...> --input=F [--clients=N]\n"
+    "           [--queries-per-client=N] [--updates=N] [--rebuild-after=K]\n"
+    "           [--checkpoint=F] [--epochs=N] [--max-subset-size=K]\n"
+    "           [--hybrid] [--max-batch=N] [--max-delay-us=T] [--seed=N]\n"
+    "           builds the structure fresh from --input, then streams\n"
+    "           updates under closed-loop query load; background retrains\n"
+    "           swap generations without stalling readers (RCU store)\n"
     "options:\n"
     "  --metrics  after any command, dump serving-path metrics (one JSON\n"
     "             object per line) collected during the run\n"
@@ -555,6 +715,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     rc = CmdQuery(parser, out);
   } else if (cmd == "serve-bench") {
     rc = CmdServeBench(parser, out);
+  } else if (cmd == "update-bench") {
+    rc = CmdUpdateBench(parser, out);
   } else {
     out << "unknown command: " << cmd << "\n" << kUsage;
     return 1;

@@ -20,6 +20,7 @@ void UpdatableIndex::ResolveInstruments(MetricsRegistry* registry) {
 }
 
 void UpdatableIndex::SetMetricsRegistry(MetricsRegistry* registry) {
+  registry_ = registry;
   ResolveInstruments(registry);
   if (index_ != nullptr) index_->SetMetricsRegistry(registry);
 }
@@ -46,8 +47,13 @@ Status UpdatableIndex::Rebuild() {
   auto index = LearnedSetIndex::Build(*collection_, opts_.index);
   if (!index.ok()) return index.status();
   index_ = std::make_unique<LearnedSetIndex>(std::move(*index));
+  // The fresh index resolved its instruments against the global registry in
+  // its constructor; keep the wrapper's injected registry in effect, and
+  // recompute the recommendation from the fresh index's (zero) absorbed
+  // count rather than pinning the gauge — stale accounting was the bug.
+  index_->SetMetricsRegistry(registry_);
   metrics_.rebuilds->Increment();
-  metrics_.needs_rebuild->Set(0.0);
+  metrics_.needs_rebuild->Set(NeedsRebuild() ? 1.0 : 0.0);
   return Status::OK();
 }
 

@@ -55,7 +55,7 @@ class UpdatableIndex {
       : collection_(std::make_unique<sets::SetCollection>(
             std::move(collection))),
         opts_(std::move(opts)) {
-    ResolveInstruments(MetricsRegistry::Global());
+    SetMetricsRegistry(MetricsRegistry::Global());
   }
 
   void ResolveInstruments(MetricsRegistry* registry);
@@ -73,6 +73,9 @@ class UpdatableIndex {
   UpdatableIndexOptions opts_;
   std::unique_ptr<LearnedSetIndex> index_;
   size_t updates_applied_ = 0;
+  // Remembered so Rebuild() can re-point the freshly built index (whose
+  // constructor defaults to the global registry) at the injected one.
+  MetricsRegistry* registry_ = nullptr;
   Instruments metrics_;
 };
 

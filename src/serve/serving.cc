@@ -80,6 +80,24 @@ Result<std::unique_ptr<CardinalityService>> CardinalityService::Create(
   return service;
 }
 
+Result<std::unique_ptr<CardinalityService>> CardinalityService::Create(
+    core::UpdatableCardinality* live, const ServeOptions& opts,
+    MetricsRegistry* registry) {
+  if (live == nullptr) {
+    return Status::InvalidArgument("CardinalityService: live is null");
+  }
+  auto service = std::unique_ptr<CardinalityService>(new CardinalityService());
+  // Every shard pins the newest generation per flush; the wrapper handles
+  // replica-free generation pickup (see header comment on live mode).
+  std::vector<BatchServer<double>::BatchFn> fns(
+      NormalizedShards(opts), [live](const std::vector<sets::Query>& qs) {
+        return live->EstimateBatch(qs);
+      });
+  service->server_ = std::make_unique<BatchServer<double>>(
+      "cardinality", std::move(fns), opts, registry);
+  return service;
+}
+
 Result<std::unique_ptr<IndexService>> IndexService::Create(
     core::LearnedSetIndex* primary, const sets::SetCollection& collection,
     const ServeOptions& opts, MetricsRegistry* registry) {
@@ -104,6 +122,22 @@ Result<std::unique_ptr<IndexService>> IndexService::Create(
       return replica->LookupBatch(qs);
     });
   }
+  service->server_ = std::make_unique<BatchServer<int64_t>>(
+      "index", std::move(fns), opts, registry);
+  return service;
+}
+
+Result<std::unique_ptr<IndexService>> IndexService::Create(
+    core::UpdatableSetIndex* live, const ServeOptions& opts,
+    MetricsRegistry* registry) {
+  if (live == nullptr) {
+    return Status::InvalidArgument("IndexService: live is null");
+  }
+  auto service = std::unique_ptr<IndexService>(new IndexService());
+  std::vector<BatchServer<int64_t>::BatchFn> fns(
+      NormalizedShards(opts), [live](const std::vector<sets::Query>& qs) {
+        return live->LookupBatch(qs);
+      });
   service->server_ = std::make_unique<BatchServer<int64_t>>(
       "index", std::move(fns), opts, registry);
   return service;
@@ -134,6 +168,22 @@ Result<std::unique_ptr<BloomService>> BloomService::Create(
     service->replicas_.push_back(std::move(clone).value());
     fns.push_back(wrap(replica));
   }
+  service->server_ = std::make_unique<BatchServer<bool>>(
+      "bloom", std::move(fns), opts, registry);
+  return service;
+}
+
+Result<std::unique_ptr<BloomService>> BloomService::Create(
+    core::UpdatableBloom* live, const ServeOptions& opts,
+    MetricsRegistry* registry) {
+  if (live == nullptr) {
+    return Status::InvalidArgument("BloomService: live is null");
+  }
+  auto service = std::unique_ptr<BloomService>(new BloomService());
+  std::vector<BatchServer<bool>::BatchFn> fns(
+      NormalizedShards(opts), [live](const std::vector<sets::Query>& qs) {
+        return live->MayContainMulti(qs);
+      });
   service->server_ = std::make_unique<BatchServer<bool>>(
       "bloom", std::move(fns), opts, registry);
   return service;

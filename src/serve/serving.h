@@ -16,6 +16,17 @@
 // The primary structure is borrowed, not owned, and must outlive the
 // service; it serves shard 0. Shutdown() (or destruction) drains in-flight
 // requests before returning, so futures returned by Submit never dangle.
+//
+// Live-update mode: each service also has a Create overload taking an
+// Updatable* wrapper (core/updatable.h) instead of a frozen structure. In
+// that mode every shard's batch function pins the wrapper's current
+// generation for the duration of one flush — a lock-free epoch pin — so
+// background retrains swap new generations in without ever stalling the
+// micro-batchers, and a flush that races a swap simply finishes on the
+// generation it pinned. The shards share the live wrapper (generations are
+// process-wide state, not per-shard), so concurrent flushes serialize on
+// the pinned generation's model inference mutex; prefer num_shards = 1
+// with live structures unless flushes are aux-heavy.
 
 #include <memory>
 #include <vector>
@@ -23,6 +34,7 @@
 #include "core/learned_bloom.h"
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
+#include "core/updatable.h"
 #include "serve/batch_server.h"
 
 namespace los::serve {
@@ -35,6 +47,12 @@ class CardinalityService {
   /// caller's to configure); nullptr means MetricsRegistry::Global().
   static Result<std::unique_ptr<CardinalityService>> Create(
       core::LearnedCardinalityEstimator* primary, const ServeOptions& opts,
+      MetricsRegistry* registry = nullptr);
+
+  /// Live-update mode: serves from `live`'s current generation, picking up
+  /// background retrains at every flush. `live` must outlive the service.
+  static Result<std::unique_ptr<CardinalityService>> Create(
+      core::UpdatableCardinality* live, const ServeOptions& opts,
       MetricsRegistry* registry = nullptr);
 
   BatchFuture<double> Submit(sets::Query q) {
@@ -60,6 +78,12 @@ class IndexService {
       core::LearnedSetIndex* primary, const sets::SetCollection& collection,
       const ServeOptions& opts, MetricsRegistry* registry = nullptr);
 
+  /// Live-update mode: each generation bundles its own collection snapshot,
+  /// so no external collection is passed. `live` must outlive the service.
+  static Result<std::unique_ptr<IndexService>> Create(
+      core::UpdatableSetIndex* live, const ServeOptions& opts,
+      MetricsRegistry* registry = nullptr);
+
   BatchFuture<int64_t> Submit(sets::Query q) {
     return server_->Submit(std::move(q));
   }
@@ -80,6 +104,12 @@ class BloomService {
  public:
   static Result<std::unique_ptr<BloomService>> Create(
       core::LearnedBloomFilter* primary, const ServeOptions& opts,
+      MetricsRegistry* registry = nullptr);
+
+  /// Live-update mode: membership reflects inserts immediately (delta
+  /// filter) and retrains at every flush. `live` must outlive the service.
+  static Result<std::unique_ptr<BloomService>> Create(
+      core::UpdatableBloom* live, const ServeOptions& opts,
       MetricsRegistry* registry = nullptr);
 
   BatchFuture<bool> Submit(sets::Query q) {

@@ -25,7 +25,8 @@ import sys
 # Fields that are measurements (or attachments), not identity. A record's
 # identity is its bench name plus every remaining config field, so adding
 # a new sweep axis automatically splits the comparison space.
-_MEASUREMENT_SUFFIXES = ("_s", "_ms", "_us", "_mb", "_bytes", "_per_s")
+_MEASUREMENT_SUFFIXES = ("_s", "_ms", "_us", "_mb", "_bytes", "_per_s",
+                         "_count")
 _ATTACHMENTS = {"samples", "metrics", "provenance"}
 
 # Keys gated on regression: medians are stable; the p99 tail is gated too
@@ -200,8 +201,18 @@ def main():
 
     if args.baseline is None:
         ap.error("baseline file required (or use --validate)")
-    regressions = compare(list(parse_records(args.baseline)),
-                          list(parse_records(args.fresh)),
+    try:
+        baseline = list(parse_records(args.baseline))
+    except FileNotFoundError:
+        # A brand-new bench has no committed baseline yet. That is a note
+        # for the reviewer, not a CI failure: list the fresh records so the
+        # run is still inspectable, and exit clean.
+        print("note: no baseline at %s (new bench?) — report only"
+              % args.baseline)
+        for record in parse_records(args.fresh):
+            print("new (no baseline): %s" % fmt_identity(identity(record)))
+        return 0
+    regressions = compare(baseline, list(parse_records(args.fresh)),
                           args.threshold, args.min_seconds)
     if regressions and not args.report_only:
         return 1
