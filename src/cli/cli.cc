@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -13,9 +14,13 @@
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
 #include "core/updatable.h"
+#include "monitor/healthz.h"
+#include "monitor/monitor.h"
 #include "serve/serving.h"
 #include "sets/generators.h"
 #include "sets/set_io.h"
+#include "sets/subset_gen.h"
+#include "sets/workload.h"
 
 namespace los::cli {
 
@@ -34,6 +39,59 @@ struct TaskNames {
 int Fail(std::ostream& out, const std::string& message) {
   out << "error: " << message << "\n";
   return 1;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// Shared `--monitor-*` knobs for serve-bench --monitor and `los monitor`.
+/// Thresholds default to 0 (observe-only); the monitor command overrides
+/// the drift threshold to close the loop.
+monitor::MonitorOptions MonitorOptsFromArgs(const ArgParser& args) {
+  monitor::MonitorOptions m;
+  m.sample_every =
+      static_cast<size_t>(args.GetInt("monitor-sample-every", 128));
+  m.window = static_cast<size_t>(args.GetInt("monitor-window", 512));
+  m.publish_every =
+      static_cast<size_t>(args.GetInt("monitor-publish-every", 32));
+  m.min_samples =
+      static_cast<size_t>(args.GetInt("monitor-min-samples", 64));
+  m.drift_threshold = args.GetDouble("drift-threshold", 0.0);
+  m.qerror_p95_threshold = args.GetDouble("qerror-threshold", 0.0);
+  m.position_error_p95_threshold =
+      args.GetDouble("position-error-threshold", 0.0);
+  m.miss_rate_threshold = args.GetDouble("miss-rate-threshold", 0.0);
+  m.fpr_threshold = args.GetDouble("fpr-threshold", 0.0);
+  m.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  return m;
+}
+
+void PrintMonitorLine(std::ostream& out, const std::string& label,
+                      const monitor::MonitorBase& mon,
+                      const std::string& quality) {
+  out << label << ": " << mon.samples() << " shadow samples, drift "
+      << Fmt(mon.drift_score()) << ", " << quality
+      << (mon.triggered() ? " [retrain triggered]" : "") << "\n";
+}
+
+std::string CardinalityQuality(const monitor::CardinalityMonitor& mon) {
+  auto s = mon.WindowStats();
+  return "qerror p50 " + Fmt(s.p50) + " p95 " + Fmt(s.p95) + " p99 " +
+         Fmt(s.p99);
+}
+
+std::string IndexQuality(const monitor::IndexMonitor& mon) {
+  auto s = mon.PositionErrorStats();
+  return "position error p95 " + Fmt(s.p95) + ", misses " +
+         std::to_string(mon.misses());
+}
+
+std::string BloomQuality(const monitor::BloomMonitor& mon) {
+  return "fpr estimate " + Fmt(mon.FprEstimate()) + " (" +
+         std::to_string(mon.probes()) + " probes)";
 }
 
 int CmdGenerate(const ArgParser& args, std::ostream& out) {
@@ -334,6 +392,22 @@ int CmdServeBench(const ArgParser& args, std::ostream& out) {
   const size_t per_client =
       static_cast<size_t>(args.GetInt("queries-per-client", 2000));
   const bool no_batching = args.HasFlag("no-batching");
+  const bool monitor_on = args.HasFlag("monitor");
+  if (monitor_on && no_batching) {
+    return Fail(out, "--monitor attaches to the batched serving layer; "
+                     "remove --no-batching");
+  }
+  // The monitor's exact-truth oracle needs the sets the model was built
+  // from; the index task bundles them in the model file, the others take
+  // --input (the build-time sets file).
+  const std::string monitor_input = args.GetString("input");
+  if (monitor_on && task != TaskNames::kIndex && monitor_input.empty()) {
+    return Fail(out, "--monitor for task '" + task +
+                         "' requires --input=<build-time sets file> for "
+                         "ground truth");
+  }
+  const size_t monitor_max_subset =
+      static_cast<size_t>(args.GetInt("max-subset-size", 3));
 
   serve::ServeOptions sopts;
   sopts.max_batch = static_cast<size_t>(args.GetInt("max-batch", 64));
@@ -383,13 +457,25 @@ int CmdServeBench(const ArgParser& args, std::ostream& out) {
       r = RunClosedLoop(clients, per_client, queries,
                         [&](const sets::Query& q) { est->Estimate(q.view()); });
     } else {
+      std::unique_ptr<monitor::CardinalityMonitor> mon;
+      if (monitor_on) {
+        auto gt = sets::ReadSetsFile(monitor_input);
+        if (!gt.ok()) return Fail(out, gt.status().ToString());
+        mon = std::make_unique<monitor::CardinalityMonitor>(
+            MonitorOptsFromArgs(args));
+        mon->Refresh(std::move(gt->collection), monitor_max_subset);
+      }
       auto service = serve::CardinalityService::Create(&est.value(), sopts);
       if (!service.ok()) return Fail(out, service.status().ToString());
+      if (mon) (*service)->AttachMonitor(mon.get());
       r = RunClosedLoop(clients, per_client, queries,
                         [&](const sets::Query& q) {
                           (*service)->Submit(q).get();
                         });
       (*service)->Shutdown();
+      if (mon) {
+        PrintMonitorLine(out, "monitor", *mon, CardinalityQuality(*mon));
+      }
     }
     PrintClosedLoop(out, "cardinality", r);
     return 0;
@@ -404,14 +490,28 @@ int CmdServeBench(const ArgParser& args, std::ostream& out) {
       r = RunClosedLoop(clients, per_client, queries,
                         [&](const sets::Query& q) { index->Lookup(q.view()); });
     } else {
+      std::unique_ptr<monitor::IndexMonitor> mon;
+      if (monitor_on) {
+        mon = std::make_unique<monitor::IndexMonitor>(
+            MonitorOptsFromArgs(args));
+        core::LearnedSetIndex* primary = &index.value();
+        mon->SetLookupFn(
+            [primary](sets::SetView q,
+                      core::LearnedSetIndex::LookupStats* stats) {
+              return primary->ProbeLookup(q, stats);
+            });
+        mon->Refresh(*collection, monitor_max_subset);
+      }
       auto service =
           serve::IndexService::Create(&index.value(), *collection, sopts);
       if (!service.ok()) return Fail(out, service.status().ToString());
+      if (mon) (*service)->AttachMonitor(mon.get());
       r = RunClosedLoop(clients, per_client, queries,
                         [&](const sets::Query& q) {
                           (*service)->Submit(q).get();
                         });
       (*service)->Shutdown();
+      if (mon) PrintMonitorLine(out, "monitor", *mon, IndexQuality(*mon));
     }
     PrintClosedLoop(out, "index", r);
     return 0;
@@ -425,13 +525,27 @@ int CmdServeBench(const ArgParser& args, std::ostream& out) {
         lbf->MayContain(q.view());
       });
     } else {
+      std::unique_ptr<monitor::BloomMonitor> mon;
+      if (monitor_on) {
+        auto gt = sets::ReadSetsFile(monitor_input);
+        if (!gt.ok()) return Fail(out, gt.status().ToString());
+        mon = std::make_unique<monitor::BloomMonitor>(
+            MonitorOptsFromArgs(args));
+        core::LearnedBloomFilter* primary = &lbf.value();
+        mon->SetProbeFn([primary](sets::SetView q) {
+          return primary->ProbeMayContain(q);
+        });
+        mon->Refresh(std::move(gt->collection), monitor_max_subset);
+      }
       auto service = serve::BloomService::Create(&lbf.value(), sopts);
       if (!service.ok()) return Fail(out, service.status().ToString());
+      if (mon) (*service)->AttachMonitor(mon.get());
       r = RunClosedLoop(clients, per_client, queries,
                         [&](const sets::Query& q) {
                           (*service)->Submit(q).get();
                         });
       (*service)->Shutdown();
+      if (mon) PrintMonitorLine(out, "monitor", *mon, BloomQuality(*mon));
     }
     PrintClosedLoop(out, "bloom", r);
     return 0;
@@ -591,6 +705,202 @@ int CmdUpdateBench(const ArgParser& args, std::ostream& out) {
   return Fail(out, "unknown task: " + task);
 }
 
+/// Three-phase closed-loop quality demo: (A) in-distribution traffic with
+/// drift near zero, (B) a drifted ingest wave plus drifted queries that
+/// push the PSI drift score (and accuracy stats) over threshold so the
+/// monitor's latched trigger requests a quality rebuild, and (C) the same
+/// drifted workload after the retrain, with the monitor rebound to the new
+/// training distribution by the engine's rebuild listener.
+int CmdMonitor(const ArgParser& args, std::ostream& out) {
+  const std::string task = args.GetString("task", TaskNames::kCardinality);
+  const std::string input = args.GetString("input");
+  if (input.empty()) return Fail(out, "monitor requires --input");
+  const size_t phase_queries =
+      static_cast<size_t>(args.GetInt("phase-queries", 3000));
+  const size_t updates = static_cast<size_t>(args.GetInt("updates", 300));
+  const size_t max_subset =
+      static_cast<size_t>(args.GetInt("max-subset-size", 2));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  auto data = sets::ReadSetsFile(input);
+  if (!data.ok()) return Fail(out, data.status().ToString());
+  if (data->collection.empty()) return Fail(out, "input has no sets");
+  const size_t num_sets = data->collection.size();
+  const size_t vocab = data->dictionary.size();
+
+  monitor::MonitorOptions mopts = MonitorOptsFromArgs(args);
+  // Demo defaults: sample densely and close the loop on drift; the
+  // shared-arg defaults are observe-only.
+  mopts.sample_every =
+      static_cast<size_t>(args.GetInt("monitor-sample-every", 8));
+  mopts.publish_every =
+      static_cast<size_t>(args.GetInt("monitor-publish-every", 16));
+  mopts.min_samples =
+      static_cast<size_t>(args.GetInt("monitor-min-samples", 48));
+  mopts.drift_threshold = args.GetDouble("drift-threshold", 0.25);
+
+  // Retrains happen only when the monitor asks for one: the engine's
+  // count-based trigger is off.
+  core::UpdatableOptions update_opts;
+  update_opts.rebuild_after_absorbed = 0;
+  update_opts.trainer_nice = 10;
+
+  core::TrainConfig train = TrainFromArgs(args);
+  train.epochs = static_cast<int>(args.GetInt("epochs", 4));
+
+  // In-distribution traffic = uniform draws from the enumerated training
+  // subsets, exactly the distribution the drift reference is bound to.
+  sets::SubsetGenOptions gen;
+  gen.max_subset_size = max_subset;
+  Rng qrng(seed);
+  auto sample_in_dist = [&](const sets::SetCollection& c) {
+    auto subsets = sets::EnumerateLabeledSubsets(c, gen);
+    return sets::SampleQueries(subsets, sets::QueryLabel::kCardinality,
+                               phase_queries, &qrng);
+  };
+  auto in_dist = sample_in_dist(data->collection);
+  // Drifted traffic: uniform subsets over twice the vocabulary, so half
+  // the queried elements were never seen at train time.
+  auto drifted = SyntheticQueries(2 * vocab, phase_queries, seed + 7);
+
+  out << "monitor " << task << ": " << num_sets << " sets, "
+      << phase_queries << " queries per phase, " << updates
+      << " drifted updates, 1-in-" << mopts.sample_every
+      << " shadow sampling, drift threshold " << mopts.drift_threshold
+      << "\n";
+
+  // Shared phase runner; `observe` pushes one query through the live
+  // structure and its monitor.
+  auto run = [&](monitor::MonitorBase& mon,
+                 const std::function<void(const sets::Query&)>& observe,
+                 const std::function<std::string()>& quality,
+                 const std::function<void(size_t)>& apply,
+                 const std::function<sets::SetCollection()>& snapshot,
+                 const std::function<uint64_t()>& rebuilds,
+                 const std::function<void()>& wait) {
+    for (const auto& q : in_dist) observe(q);
+    PrintMonitorLine(out, "phase A in-distribution", mon, quality());
+
+    for (size_t i = 0; i < updates; ++i) apply(i);
+    // Re-ground truth once after the wave so drifted answers are judged
+    // against the post-ingest collection (the drift reference stays put,
+    // so the PSI keeps measuring distance from the *trained* workload).
+    mon.RefreshOracle(snapshot());
+    for (const auto& q : drifted) observe(q);
+    PrintMonitorLine(out, "phase B drifted", mon, quality());
+    wait();
+    out << "quality rebuilds completed: " << rebuilds() << "\n";
+
+    // Post-retrain the rebuild listener has rebound the monitor to the new
+    // training distribution; traffic sampled from the current collection
+    // should score near-zero drift again.
+    auto recovered = sample_in_dist(snapshot());
+    for (const auto& q : recovered) observe(q);
+    PrintMonitorLine(out, "phase C post-retrain", mon, quality());
+
+    auto report = monitor::Healthz(MetricsRegistry::Global()->Snapshot());
+    out << "healthz: " << report.ToJson() << "\n";
+    return 0;
+  };
+
+  Rng urng(seed + 1);
+  if (task == TaskNames::kCardinality) {
+    core::UpdatableCardinality::Options opts;
+    opts.cardinality.train = train;
+    opts.cardinality.max_subset_size = max_subset;
+    opts.update = update_opts;
+    auto live = core::UpdatableCardinality::Build(data->collection, opts);
+    if (!live.ok()) return Fail(out, live.status().ToString());
+
+    monitor::CardinalityMonitor mon(mopts);
+    mon.SetRetrainCallback(
+        [&] { (*live)->engine()->RequestQualityRebuild(); });
+    (*live)->engine()->SetRebuildListener(
+        [&] { mon.Refresh((*live)->SnapshotCollection(), max_subset); });
+    mon.Refresh((*live)->SnapshotCollection(), max_subset);
+
+    return run(
+        mon,
+        [&](const sets::Query& q) {
+          mon.Observe(q.view(), (*live)->Estimate(q.view()));
+        },
+        [&] { return CardinalityQuality(mon); },
+        [&](size_t) { (*live)->Insert(UpdatePayload(vocab, &urng)); },
+        [&] { return (*live)->SnapshotCollection(); },
+        [&] { return (*live)->engine()->rebuilds(); },
+        [&] { (*live)->WaitForRebuilds(); });
+  }
+  if (task == TaskNames::kIndex) {
+    core::UpdatableSetIndex::Options opts;
+    opts.index.train = train;
+    opts.index.max_subset_size = max_subset;
+    opts.publish_after_updates = 16;
+    opts.update = update_opts;
+    auto live = core::UpdatableSetIndex::Build(data->collection, opts);
+    if (!live.ok()) return Fail(out, live.status().ToString());
+
+    monitor::IndexMonitor mon(mopts);
+    mon.SetLookupFn([&](sets::SetView q,
+                        core::LearnedSetIndex::LookupStats* stats) {
+      auto pin = (*live)->engine()->Acquire();
+      return pin->index->ProbeLookup(q, stats);
+    });
+    mon.SetRetrainCallback(
+        [&] { (*live)->engine()->RequestQualityRebuild(); });
+    (*live)->engine()->SetRebuildListener(
+        [&] { mon.Refresh((*live)->SnapshotCollection(), max_subset); });
+    mon.Refresh((*live)->SnapshotCollection(), max_subset);
+
+    return run(
+        mon,
+        [&](const sets::Query& q) {
+          (*live)->Lookup(q.view());
+          mon.Observe(q.view());
+        },
+        [&] { return IndexQuality(mon); },
+        [&](size_t i) {
+          (void)(*live)->Update(i % num_sets, UpdatePayload(vocab, &urng));
+        },
+        [&] { return (*live)->SnapshotCollection(); },
+        [&] { return (*live)->engine()->rebuilds(); },
+        [&] { (*live)->WaitForRebuilds(); });
+  }
+  if (task == TaskNames::kBloom) {
+    core::UpdatableBloom::Options opts;
+    opts.bloom.train = train;
+    opts.bloom.train.loss = core::LossKind::kBce;
+    opts.bloom.max_subset_size = max_subset;
+    opts.update = update_opts;
+    auto live = core::UpdatableBloom::Build(data->collection, opts);
+    if (!live.ok()) return Fail(out, live.status().ToString());
+
+    monitor::BloomMonitor mon(mopts);
+    mon.SetProbeFn([&](sets::SetView q) {
+      auto pin = (*live)->engine()->Acquire();
+      if (pin->filter->ProbeMayContain(q)) return true;
+      return pin->delta->MayContain(q);
+    });
+    mon.SetRetrainCallback(
+        [&] { (*live)->engine()->RequestQualityRebuild(); });
+    (*live)->engine()->SetRebuildListener(
+        [&] { mon.Refresh((*live)->SnapshotCollection(), max_subset); });
+    mon.Refresh((*live)->SnapshotCollection(), max_subset);
+
+    return run(
+        mon,
+        [&](const sets::Query& q) {
+          (*live)->MayContain(q.view());
+          mon.Observe(q.view());
+        },
+        [&] { return BloomQuality(mon); },
+        [&](size_t) { (*live)->Insert(UpdatePayload(vocab, &urng)); },
+        [&] { return (*live)->SnapshotCollection(); },
+        [&] { return (*live)->engine()->rebuilds(); },
+        [&] { (*live)->WaitForRebuilds(); });
+  }
+  return Fail(out, "unknown task: " + task);
+}
+
 constexpr char kUsage[] =
     "usage: los <command> [--key=value ...]\n"
     "commands:\n"
@@ -604,8 +914,19 @@ constexpr char kUsage[] =
     "           [--queries-per-client=N] [--max-batch=N] [--max-delay-us=T]\n"
     "           [--adaptive] [--min-delay-us=T] [--num-shards=K]\n"
     "           [--shard-by=<round-robin|hash>] [--no-batching] [--seed=N]\n"
+    "           [--monitor [--input=F] [--monitor-sample-every=N]]\n"
     "           closed-loop load through the micro-batching serving layer\n"
-    "           (--no-batching bypasses it: one forward per query)\n"
+    "           (--no-batching bypasses it: one forward per query);\n"
+    "           --monitor attaches a shadow-sampling quality monitor\n"
+    "           (--input supplies ground-truth sets for cardinality/bloom)\n"
+    "  monitor  --task=<...> --input=F [--phase-queries=N] [--updates=N]\n"
+    "           [--monitor-sample-every=N] [--drift-threshold=X]\n"
+    "           [--qerror-threshold=X] [--fpr-threshold=X]\n"
+    "           [--miss-rate-threshold=X] [--epochs=N]\n"
+    "           [--max-subset-size=K] [--seed=N]\n"
+    "           three-phase drift demo: in-distribution traffic, a drifted\n"
+    "           ingest wave that trips the monitor's retrain trigger, and\n"
+    "           post-retrain recovery; prints a healthz report\n"
     "  update-bench --task=<...> --input=F [--clients=N]\n"
     "           [--queries-per-client=N] [--updates=N] [--rebuild-after=K]\n"
     "           [--checkpoint=F] [--epochs=N] [--max-subset-size=K]\n"
@@ -616,6 +937,10 @@ constexpr char kUsage[] =
     "options:\n"
     "  --metrics  after any command, dump serving-path metrics (one JSON\n"
     "             object per line) collected during the run\n"
+    "  --metrics-out=F      write the same JSON-lines metrics dump to F\n"
+    "                       (atomic tmp+rename)\n"
+    "  --openmetrics-out=F  write an OpenMetrics / Prometheus text\n"
+    "                       exposition of the metrics to F\n"
     "  --trace-out=F    record spans during the command and write a Chrome\n"
     "                   trace_event JSON to F (open in chrome://tracing or\n"
     "                   https://ui.perfetto.dev); also merges a per-stage\n"
@@ -717,6 +1042,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     rc = CmdServeBench(parser, out);
   } else if (cmd == "update-bench") {
     rc = CmdUpdateBench(parser, out);
+  } else if (cmd == "monitor") {
+    rc = CmdMonitor(parser, out);
   } else {
     out << "unknown command: " << cmd << "\n" << kUsage;
     return 1;
@@ -734,8 +1061,28 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
       out << "wrote trace to " << trace_out << "\n";
     }
   }
-  if (parser.HasFlag("metrics")) {
-    out << MetricsRegistry::Global()->Snapshot().ToJsonLines();
+  const std::string metrics_out = parser.GetString("metrics-out");
+  const std::string openmetrics_out = parser.GetString("openmetrics-out");
+  if (parser.HasFlag("metrics") || !metrics_out.empty() ||
+      !openmetrics_out.empty()) {
+    MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+    if (parser.HasFlag("metrics")) out << snap.ToJsonLines();
+    auto write = [&](const std::string& path, const std::string& content,
+                     const char* what) {
+      Status st = WriteTextFileAtomic(path, content);
+      if (!st.ok()) {
+        out << "error: " << st.ToString() << "\n";
+        if (rc == 0) rc = 1;
+      } else {
+        out << "wrote " << what << " to " << path << "\n";
+      }
+    };
+    if (!metrics_out.empty()) {
+      write(metrics_out, snap.ToJsonLines(), "metrics");
+    }
+    if (!openmetrics_out.empty()) {
+      write(openmetrics_out, snap.ToOpenMetrics(), "OpenMetrics exposition");
+    }
   }
   return rc;
 }

@@ -14,10 +14,50 @@ double NowSeconds() {
       .count();
 }
 
+double UnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 std::string FormatDouble(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+std::string JsonDoubleArray(const std::vector<double>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += FormatDouble(v[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string JsonUintArray(const std::vector<uint64_t>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  out += "]";
+  return out;
+}
+
+/// OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+/// map dots (and anything else outside that set) to underscores under a
+/// `los_` prefix, e.g. `serve.index.queue_depth` -> `los_serve_index_queue_depth`.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "los_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
 }
 
 }  // namespace
@@ -116,7 +156,9 @@ std::string MetricsSnapshot::ToJsonLines() const {
            ",\"max\":" + FormatDouble(h.max) +
            ",\"p50\":" + FormatDouble(h.Percentile(0.50)) +
            ",\"p95\":" + FormatDouble(h.Percentile(0.95)) +
-           ",\"p99\":" + FormatDouble(h.Percentile(0.99)) + "}\n";
+           ",\"p99\":" + FormatDouble(h.Percentile(0.99)) +
+           ",\"bounds\":" + JsonDoubleArray(h.bounds) +
+           ",\"buckets\":" + JsonUintArray(h.buckets) + "}\n";
   }
   return out;
 }
@@ -145,10 +187,127 @@ std::string MetricsSnapshot::ToJsonObject() const {
            ",\"p95\":" + FormatDouble(h.Percentile(0.95)) +
            ",\"p99\":" + FormatDouble(h.Percentile(0.99)) +
            ",\"min\":" + FormatDouble(h.min) +
-           ",\"max\":" + FormatDouble(h.max) + "}";
+           ",\"max\":" + FormatDouble(h.max) +
+           ",\"bounds\":" + JsonDoubleArray(h.bounds) +
+           ",\"buckets\":" + JsonUintArray(h.buckets) + "}";
   }
   out += "}";
   return out;
+}
+
+std::string MetricsSnapshot::ToOpenMetrics() const {
+  std::string out;
+  for (const auto& c : counters) {
+    const std::string n = OpenMetricsName(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "_total " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string n = OpenMetricsName(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string n = OpenMetricsName(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += n + "_sum " + FormatDouble(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+Status WriteTextFileAtomic(const std::string& path,
+                           const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != content.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+MetricsExportWriter::MetricsExportWriter(MetricsRegistry* registry,
+                                         Options opts)
+    : registry_(registry != nullptr ? registry : MetricsRegistry::Global()),
+      opts_(std::move(opts)) {
+  if (opts_.period_s < 0.01) opts_.period_s = 0.01;
+  if (opts_.jsonl_path.empty() && opts_.openmetrics_path.empty()) {
+    stopped_ = true;
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsExportWriter::~MetricsExportWriter() { Stop(); }
+
+Status MetricsExportWriter::WriteOnce() {
+  const MetricsSnapshot snap = registry_->Snapshot();
+  Status result = Status::OK();
+  if (!opts_.jsonl_path.empty()) {
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f", UnixSeconds());
+    const std::string line = std::string("{\"ts_s\":") + ts +
+                             ",\"metrics\":" + snap.ToJsonObject() + "}\n";
+    std::FILE* f = std::fopen(opts_.jsonl_path.c_str(), "ab");
+    if (f == nullptr) {
+      result = Status::IoError("cannot append: " + opts_.jsonl_path);
+    } else {
+      if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+        result = Status::IoError("short append: " + opts_.jsonl_path);
+      }
+      std::fclose(f);
+    }
+  }
+  if (!opts_.openmetrics_path.empty()) {
+    Status st = WriteTextFileAtomic(opts_.openmetrics_path,
+                                    snap.ToOpenMetrics());
+    if (!st.ok()) result = st;
+  }
+  exports_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void MetricsExportWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ && !thread_.joinable()) return;
+    stopped_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsExportWriter::Loop() {
+  const auto period = std::chrono::duration<double>(opts_.period_s);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, period, [&] { return stopped_; });
+    const bool last = stopped_;
+    lock.unlock();
+    WriteOnce();  // export errors are not fatal; the next period retries
+    lock.lock();
+    if (last) return;
+  }
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {

@@ -29,13 +29,17 @@
 // seconds, other histograms hold values (scan widths, q-errors).
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace los {
 
@@ -240,13 +244,28 @@ struct MetricsSnapshot {
   /// One single-line JSON record per instrument, bench_util.h-style:
   ///   {"metric":"index.lookups","type":"counter","value":42}
   ///   {"metric":"index.scan_width","type":"histogram","count":10,...}
+  /// Histogram records carry the full bucket layout ("bounds":[...],
+  /// "buckets":[...], overflow last) alongside the interpolated percentiles,
+  /// so consumers can reconstruct honest tails instead of trusting p99.
   std::string ToJsonLines() const;
 
   /// All instruments as one compact JSON object keyed by metric name —
-  /// histograms collapse to {count,sum,mean,p50,p95,p99,min,max}. Suitable
-  /// for embedding into a bench JsonRecord field.
+  /// histograms collapse to {count,sum,mean,p50,p95,p99,min,max,bounds,
+  /// buckets}. Suitable for embedding into a bench JsonRecord field.
   std::string ToJsonObject() const;
+
+  /// OpenMetrics / Prometheus text exposition of every instrument,
+  /// terminated by `# EOF`. Dotted names are sanitized to underscores and
+  /// prefixed `los_` (`index.lookups` -> `los_index_lookups_total`);
+  /// histograms expose cumulative `le` buckets (including `+Inf`) plus
+  /// `_sum` and `_count` series.
+  std::string ToOpenMetrics() const;
 };
+
+/// Atomically replaces `path` with `content` (write to a sibling tmp file,
+/// flush, rename) — a scraper never observes a half-written exposition.
+Status WriteTextFileAtomic(const std::string& path,
+                           const std::string& content);
 
 /// \brief Thread-safe instrument registry.
 ///
@@ -292,6 +311,53 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Periodic metrics export: appends one JSONL snapshot record per
+/// period and/or atomically rewrites an OpenMetrics exposition file, from a
+/// low-priority background thread. This is the pull-less export path — a
+/// node_exporter-style textfile collector or a log shipper picks the files
+/// up; nothing in the serving path ever blocks on the writer.
+///
+/// JSONL records are one line each: {"ts_s":<unix seconds>,"metrics":{...}}
+/// with the ToJsonObject() payload. The OpenMetrics file is replaced via
+/// tmp+rename so scrapers never see a torn exposition.
+class MetricsExportWriter {
+ public:
+  struct Options {
+    std::string jsonl_path;        ///< append target; empty disables
+    std::string openmetrics_path;  ///< rewrite target; empty disables
+    double period_s = 1.0;         ///< export interval (floored at 10ms)
+  };
+
+  /// Starts the export thread immediately (no-op thread when both paths are
+  /// empty). `registry` nullptr means MetricsRegistry::Global().
+  MetricsExportWriter(MetricsRegistry* registry, Options opts);
+  ~MetricsExportWriter();
+
+  MetricsExportWriter(const MetricsExportWriter&) = delete;
+  MetricsExportWriter& operator=(const MetricsExportWriter&) = delete;
+
+  /// One synchronous export of the current snapshot to both targets.
+  /// Callable before/after Stop; also used by the thread each period.
+  Status WriteOnce();
+
+  /// Stops the thread after one final export, so the files always end on a
+  /// complete picture of the process. Idempotent; called by the destructor.
+  void Stop();
+
+  uint64_t exports() const { return exports_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  MetricsRegistry* registry_;
+  Options opts_;
+  std::atomic<uint64_t> exports_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 /// Preset histogram layouts used across the serving paths (documented in

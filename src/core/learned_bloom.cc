@@ -213,4 +213,14 @@ bool LearnedBloomFilter::MayContain(sets::SetView q) {
   return false;
 }
 
+bool LearnedBloomFilter::ProbeMayContain(sets::SetView q) {
+  // Mirror of MayContain's verdict logic without instruments — keep the two
+  // in sync.
+  for (sets::ElementId e : q) {
+    if (static_cast<int64_t>(e) >= model_->vocab()) return false;
+  }
+  if (model_->PredictOne(q) >= threshold_) return true;
+  return backup_.MayContain(q);
+}
+
 }  // namespace los::core

@@ -54,6 +54,12 @@ class LearnedBloomFilter {
   /// backup filter.
   bool MayContain(sets::SetView q);
 
+  /// Same verdict as MayContain but records no `bloom.*` instruments or
+  /// trace spans — the monitor's sampled negative probes (FPR estimation)
+  /// go through here so synthetic audit traffic never distorts the serving
+  /// metrics' exactly-once accounting.
+  bool ProbeMayContain(sets::SetView q);
+
   /// Raw model probability.
   double Probability(sets::SetView q) { return model_->PredictOne(q); }
 

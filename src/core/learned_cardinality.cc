@@ -93,9 +93,11 @@ void LearnedCardinalityEstimator::SetMetricsRegistry(
       registry->GetHistogram("cardinality.qerror", QErrorHistogramOptions());
 }
 
-void LearnedCardinalityEstimator::ObserveQError(double estimate,
-                                                double truth) {
-  metrics_.qerror->Observe(nn::QError(estimate, truth));
+double LearnedCardinalityEstimator::ObserveQError(double estimate,
+                                                  double truth) {
+  const double q = nn::QError(estimate, truth);
+  metrics_.qerror->Observe(q);
+  return q;
 }
 
 double LearnedCardinalityEstimator::Estimate(sets::SetView q) {

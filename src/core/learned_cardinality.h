@@ -79,10 +79,11 @@ class LearnedCardinalityEstimator {
   static Result<LearnedCardinalityEstimator> Load(BinaryReader* r);
 
   /// Records the serving-time q-error of `estimate` against a known ground
-  /// truth into the `cardinality.qerror` histogram. Callers that can verify
-  /// estimates (benches, shadow traffic, sampled audits) use this to track
-  /// accuracy drift in production — errors are only bounded if measured.
-  void ObserveQError(double estimate, double truth);
+  /// truth into the `cardinality.qerror` histogram and returns it. Callers
+  /// that can verify estimates (benches, shadow traffic, sampled audits)
+  /// use this to track accuracy drift in production — errors are only
+  /// bounded if measured.
+  double ObserveQError(double estimate, double truth);
 
   /// Re-points serving-path instrumentation (`cardinality.*` metrics) at
   /// `registry`; the default is MetricsRegistry::Global(). Must not be null.

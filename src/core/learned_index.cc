@@ -263,6 +263,55 @@ int64_t LearnedSetIndex::Lookup(sets::SetView q, LookupStats* stats) {
   return ScanFromEstimate(q, EstimatePosition(q), stats);
 }
 
+int64_t LearnedSetIndex::ProbeLookup(sets::SetView q, LookupStats* stats) {
+  // Mirror of Lookup's decision flow without instruments or spans — keep
+  // the two in sync.
+  auto aux_pos = aux_.FindFirst(sets::HashSetSorted(q));
+  if (aux_pos.has_value() &&
+      collection_->SetContainsSorted(static_cast<size_t>(*aux_pos), q)) {
+    if (stats != nullptr) {
+      stats->aux_hit = true;
+      stats->estimate = static_cast<int64_t>(*aux_pos);
+      stats->scan_width = 0;
+    }
+    return static_cast<int64_t>(*aux_pos);
+  }
+  for (sets::ElementId e : q) {
+    if (static_cast<int64_t>(e) >= model_->vocab()) {
+      if (stats != nullptr) {
+        stats->aux_hit = false;
+        stats->estimate = -1;
+        stats->scan_width =
+            fallback_full_scan_ ? static_cast<int64_t>(collection_->size())
+                                : 0;
+      }
+      return fallback_full_scan_
+                 ? collection_->FindFirstSuperset(q, 0, collection_->size())
+                 : -1;
+    }
+  }
+  const int64_t est = EstimatePosition(q);
+  const double e_r = bounds_.ErrorFor(static_cast<double>(est));
+  const int64_t lo = std::max<int64_t>(0, est - static_cast<int64_t>(e_r));
+  const int64_t hi =
+      std::min<int64_t>(static_cast<int64_t>(collection_->size()),
+                        est + static_cast<int64_t>(e_r) + 1);
+  if (stats != nullptr) {
+    stats->aux_hit = false;
+    stats->estimate = est;
+    stats->scan_width = hi - lo;
+  }
+  int64_t pos = collection_->FindFirstSuperset(q, static_cast<size_t>(lo),
+                                               static_cast<size_t>(hi));
+  if (pos < 0 && fallback_full_scan_) {
+    pos = collection_->FindFirstSuperset(q, 0, collection_->size());
+    if (stats != nullptr) {
+      stats->scan_width += static_cast<int64_t>(collection_->size());
+    }
+  }
+  return pos;
+}
+
 int64_t LearnedSetIndex::ScanFromEstimate(sets::SetView q, int64_t est,
                                           LookupStats* stats) {
   TRACE_SPAN_VAR(span, "serving", "index.bounded_scan");

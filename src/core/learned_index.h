@@ -60,6 +60,12 @@ class LearnedSetIndex {
   /// within the error bounds (untrained queries have no guarantee, §7).
   int64_t Lookup(sets::SetView q, LookupStats* stats = nullptr);
 
+  /// Same answer (and LookupStats) as Lookup but records no `index.*`
+  /// instruments or trace spans — the monitor's shadow re-executions go
+  /// through here so sampled audit traffic never inflates the serving
+  /// counters or the scan-width histogram.
+  int64_t ProbeLookup(sets::SetView q, LookupStats* stats = nullptr);
+
   /// Equality-search mode (§4.1): first position whose set *equals* sorted
   /// `q`, or -1. Reuses the subset model's estimate and error bounds; since
   /// the bounds are fitted on first-superset labels, equality hits are

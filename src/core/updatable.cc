@@ -100,6 +100,11 @@ std::unique_ptr<IndexGeneration> UpdatableSetIndex::SnapshotMasterLocked()
   return gen;
 }
 
+sets::SetCollection UpdatableSetIndex::SnapshotCollection() {
+  std::lock_guard<std::mutex> lock(engine_->write_mu());
+  return *master_collection_;
+}
+
 int64_t UpdatableSetIndex::Lookup(sets::SetView q,
                                   LearnedSetIndex::LookupStats* stats) {
   auto pin = engine_->Acquire();
@@ -229,6 +234,11 @@ Result<std::unique_ptr<UpdatableCardinality>> UpdatableCardinality::Build(
   return self;
 }
 
+sets::SetCollection UpdatableCardinality::SnapshotCollection() {
+  std::lock_guard<std::mutex> lock(engine_->write_mu());
+  return *master_collection_;
+}
+
 double UpdatableCardinality::Estimate(sets::SetView q) {
   auto pin = engine_->Acquire();
   return pin->Estimate(q);
@@ -324,6 +334,11 @@ Result<std::unique_ptr<UpdatableBloom>> UpdatableBloom::Build(
       "bloom", std::move(initial), opts.update, std::move(hooks),
       self->registry_);
   return self;
+}
+
+sets::SetCollection UpdatableBloom::SnapshotCollection() {
+  std::lock_guard<std::mutex> lock(engine_->write_mu());
+  return *master_collection_;
 }
 
 bool UpdatableBloom::MayContain(sets::SetView q) {

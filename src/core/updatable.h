@@ -366,6 +366,26 @@ class UpdatableStructure {
     }
   }
 
+  /// Rebuild requested because monitored quality degraded (drift score,
+  /// q-error, FPR — see src/monitor/) rather than because update counts
+  /// accumulated. Identical to RequestRebuild plus the
+  /// `updatable.<name>.quality_rebuilds` counter, so dashboards can tell
+  /// closed-loop retrains from count-threshold ones.
+  void RequestQualityRebuild() {
+    metrics_.quality_rebuilds->Increment();
+    RequestRebuild();
+  }
+
+  /// `listener` runs after every successful rebuild publish, on the
+  /// rebuilding thread, outside write_mu(). The monitor layer uses it to
+  /// rebind ground-truth oracles and drift references to the fresh
+  /// generation. Pass nullptr to clear. Must not call back into this
+  /// engine's rebuild entry points.
+  void SetRebuildListener(std::function<void()> listener) {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    rebuild_listener_ = std::move(listener);
+  }
+
   /// Synchronous rebuild on the caller's thread (serialized against the
   /// trainer). Readers keep serving the old generation throughout.
   Status RebuildNow() { return DoRebuild(); }
@@ -402,6 +422,7 @@ class UpdatableStructure {
     Gauge* recommended = nullptr;
     Counter* publishes = nullptr;
     Counter* rebuilds = nullptr;
+    Counter* quality_rebuilds = nullptr;
     Counter* rebuild_failures = nullptr;
     Counter* checkpoint_failures = nullptr;
     Histogram* retrain_seconds = nullptr;
@@ -414,6 +435,7 @@ class UpdatableStructure {
     metrics_.recommended = registry->GetGauge(p + "rebuild_recommended");
     metrics_.publishes = registry->GetCounter(p + "publishes");
     metrics_.rebuilds = registry->GetCounter(p + "rebuilds");
+    metrics_.quality_rebuilds = registry->GetCounter(p + "quality_rebuilds");
     metrics_.rebuild_failures = registry->GetCounter(p + "rebuild_failures");
     metrics_.checkpoint_failures =
         registry->GetCounter(p + "checkpoint_failures");
@@ -463,6 +485,13 @@ class UpdatableStructure {
       if (!st.ok()) metrics_.checkpoint_failures->Increment();
     }
     {
+      // Post-publish hook for the monitor layer: runs with no engine locks
+      // held except listener_mu_, so the listener may snapshot master state
+      // (which takes write_mu) but must not request rebuilds.
+      std::lock_guard<std::mutex> lock(listener_mu_);
+      if (rebuild_listener_) rebuild_listener_();
+    }
+    {
       // Wake WaitForRebuilds callers blocked on a RebuildNow from another
       // thread (the trainer loop notifies separately).
       std::lock_guard<std::mutex> lock(trainer_mu_);
@@ -503,6 +532,8 @@ class UpdatableStructure {
   GenerationStore<G> store_;
   std::mutex write_mu_;
   std::mutex rebuild_mu_;
+  std::mutex listener_mu_;
+  std::function<void()> rebuild_listener_;
 
   std::atomic<uint64_t> absorbed_total_{0};
   std::atomic<uint64_t> absorbed_at_build_{0};
@@ -622,6 +653,10 @@ class UpdatableSetIndex {
   Status RebuildNow() { return engine_->RebuildNow(); }
   void WaitForRebuilds() { engine_->WaitForRebuilds(); }
 
+  /// Consistent copy of the writer-side master collection (takes write_mu
+  /// briefly). The monitor layer rebuilds ground-truth oracles from it.
+  sets::SetCollection SnapshotCollection();
+
   uint64_t generation() const { return engine_->generation(); }
   uint64_t updates_applied() const {
     return updates_applied_.load(std::memory_order_relaxed);
@@ -681,6 +716,10 @@ class UpdatableCardinality {
   void RequestRebuild() { engine_->RequestRebuild(); }
   Status RebuildNow() { return engine_->RebuildNow(); }
   void WaitForRebuilds() { engine_->WaitForRebuilds(); }
+
+  /// Consistent copy of the writer-side master collection (takes write_mu
+  /// briefly). The monitor layer rebuilds ground-truth oracles from it.
+  sets::SetCollection SnapshotCollection();
 
   uint64_t generation() const { return engine_->generation(); }
   GenerationStore<LearnedCardinalityEstimator>::ReadPin Acquire() const {
@@ -753,6 +792,10 @@ class UpdatableBloom {
   void RequestRebuild() { engine_->RequestRebuild(); }
   Status RebuildNow() { return engine_->RebuildNow(); }
   void WaitForRebuilds() { engine_->WaitForRebuilds(); }
+
+  /// Consistent copy of the writer-side master collection (takes write_mu
+  /// briefly). The monitor layer rebuilds ground-truth oracles from it.
+  sets::SetCollection SnapshotCollection();
 
   uint64_t generation() const { return engine_->generation(); }
   GenerationStore<BloomGeneration>::ReadPin Acquire() const {

@@ -1,0 +1,72 @@
+#include "monitor/drift.h"
+
+#include <cmath>
+
+#include "sets/set_hash.h"
+
+namespace los::monitor {
+
+FrequencySketch::FrequencySketch(size_t num_bands)
+    : bands_(num_bands < 2 ? 2 : num_bands) {
+  for (auto& b : bands_) b.store(0, std::memory_order_relaxed);
+}
+
+void FrequencySketch::ObserveElement(sets::ElementId e) {
+  const size_t band =
+      static_cast<size_t>(sets::MixElement(e)) % bands_.size();
+  bands_[band].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FrequencySketch::ObserveSet(sets::SetView s) {
+  for (sets::ElementId e : s) ObserveElement(e);
+}
+
+std::vector<double> FrequencySketch::Normalized() const {
+  std::vector<double> out(bands_.size(), 0.0);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < bands_.size(); ++i) {
+    out[i] = static_cast<double>(bands_[i].load(std::memory_order_relaxed));
+    sum += static_cast<uint64_t>(out[i]);
+  }
+  if (sum == 0) {
+    const double uniform = 1.0 / static_cast<double>(bands_.size());
+    for (double& v : out) v = uniform;
+    return out;
+  }
+  for (double& v : out) v /= static_cast<double>(sum);
+  return out;
+}
+
+void FrequencySketch::Reset() {
+  for (auto& b : bands_) b.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+}
+
+double Psi(const std::vector<double>& reference,
+           const std::vector<double>& current, double epsilon) {
+  const size_t n = reference.size() < current.size() ? reference.size()
+                                                     : current.size();
+  double psi = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double r = reference[i] + epsilon;
+    const double c = current[i] + epsilon;
+    psi += (c - r) * std::log(c / r);
+  }
+  return psi;
+}
+
+double ChiSquare(const std::vector<double>& reference,
+                 const std::vector<double>& current, double epsilon) {
+  const size_t n = reference.size() < current.size() ? reference.size()
+                                                     : current.size();
+  double chi = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double r = reference[i] + epsilon;
+    const double d = current[i] - reference[i];
+    chi += d * d / r;
+  }
+  return chi;
+}
+
+}  // namespace los::monitor

@@ -1,0 +1,75 @@
+#ifndef LOS_MONITOR_DRIFT_H_
+#define LOS_MONITOR_DRIFT_H_
+
+// Input-distribution drift detection for the model-quality monitors.
+//
+// The learned structures are only as good as the distribution they were
+// trained on (PAPERS.md: the learned-index error bound and the meta-learned
+// Bloom filter both assume the serving distribution matches training). The
+// drift signal here is deliberately cheap and streaming-friendly:
+//
+//   - FrequencySketch hashes each observed element id into one of B bands
+//     and counts band hits with relaxed atomics — O(1) per element, no
+//     allocation, safe from concurrent observers.
+//   - At train time the monitor snapshots a *reference* sketch from the
+//     training workload's element distribution; online, sampled query
+//     elements feed a *current* sketch.
+//   - Psi() (population stability index, the standard model-monitoring
+//     drift statistic) and ChiSquare() compare the two band distributions.
+//     In-distribution traffic lands in the same bands as training so PSI
+//     stays near 0; a shifted universe (e.g. ids offset by the vocabulary
+//     size after an update wave) hashes into different bands and PSI fires.
+//
+// The usual PSI reading: < 0.1 no shift, 0.1-0.25 moderate, > 0.25 major.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sets/set_collection.h"
+
+namespace los::monitor {
+
+/// \brief Banded element-frequency sketch. Observe* is lock-free (one
+/// relaxed fetch_add per element); Normalized/Reset are for the sampled
+/// slow path and snapshots.
+class FrequencySketch {
+ public:
+  explicit FrequencySketch(size_t num_bands = 64);
+
+  FrequencySketch(const FrequencySketch&) = delete;
+  FrequencySketch& operator=(const FrequencySketch&) = delete;
+
+  void ObserveElement(sets::ElementId e);
+  void ObserveSet(sets::SetView s);
+
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  size_t num_bands() const { return bands_.size(); }
+
+  /// Band frequencies normalized to sum 1; all-uniform when empty (so
+  /// comparing two empty sketches reports zero drift, not NaN).
+  std::vector<double> Normalized() const;
+
+  void Reset();
+
+ private:
+  std::vector<std::atomic<uint64_t>> bands_;
+  std::atomic<uint64_t> total_{0};
+};
+
+/// Population stability index between two band distributions (same length,
+/// each summing to ~1). Bands are epsilon-smoothed so a band that is empty
+/// on one side contributes a large-but-finite term.
+double Psi(const std::vector<double>& reference,
+           const std::vector<double>& current, double epsilon = 1e-4);
+
+/// Pearson chi-square statistic of `current` against expected `reference`
+/// proportions, per observation (i.e. the statistic divided by the current
+/// sample count is NOT applied here — pass normalized distributions and
+/// read the result as a divergence score like Psi).
+double ChiSquare(const std::vector<double>& reference,
+                 const std::vector<double>& current, double epsilon = 1e-4);
+
+}  // namespace los::monitor
+
+#endif  // LOS_MONITOR_DRIFT_H_

@@ -46,6 +46,9 @@
 //   batch_size        histogram flushed batch sizes
 //   request_seconds   histogram enqueue-to-complete latency per query
 //   queue_depth       gauge    last observed aggregate queue depth
+//   shard<k>.queue_depth gauge per-shard depth (k = 0..num_shards-1) — the
+//                              aggregate hides one hot shard behind idle
+//                              ones; Healthz() reads the per-shard max
 // Trace spans (category "serve"): `serve.enqueue` instants, `serve.flush`
 // with a batch_size arg, and per-query `serve.request` spans covering
 // enqueue-to-complete (emitted with externally measured times, like
@@ -215,6 +218,11 @@ class BatchServer {
     for (auto& fn : shard_fns) {
       shards_.push_back(std::make_unique<Shard>(std::move(fn),
                                                 opts.queue_capacity));
+    }
+    shard_queue_depth_.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      shard_queue_depth_.push_back(registry->GetGauge(
+          p + "shard" + std::to_string(i) + ".queue_depth"));
     }
     for (size_t i = 0; i < shards_.size(); ++i) {
       shards_[i]->worker =
@@ -518,7 +526,11 @@ class BatchServer {
     }
     batch_size_->Observe(static_cast<double>(n));
     size_t depth = 0;
-    for (const auto& s : shards_) depth += s->queue.SizeApprox();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t d = shards_[s]->queue.SizeApprox();
+      shard_queue_depth_[s]->Set(static_cast<double>(d));
+      depth += d;
+    }
     queue_depth_->Set(static_cast<double>(depth));
     if (opts_.adaptive && n >= 2) UpdateAdaptiveDelay(*pending);
 
@@ -580,6 +592,7 @@ class BatchServer {
   Histogram* batch_size_ = nullptr;
   Histogram* request_seconds_ = nullptr;
   Gauge* queue_depth_ = nullptr;
+  std::vector<Gauge*> shard_queue_depth_;  ///< one per shard, index-aligned
 };
 
 }  // namespace los::serve

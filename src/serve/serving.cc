@@ -58,12 +58,21 @@ Result<std::unique_ptr<CardinalityService>> CardinalityService::Create(
     return Status::InvalidArgument("CardinalityService: primary is null");
   }
   auto service = std::unique_ptr<CardinalityService>(new CardinalityService());
+  CardinalityService* svc = service.get();
   const size_t shards = NormalizedShards(opts);
   std::vector<BatchServer<double>::BatchFn> fns;
   fns.reserve(shards);
-  fns.push_back([primary](const std::vector<sets::Query>& qs) {
-    return primary->EstimateBatch(qs);
-  });
+  // Monitor forwarding happens after the flush executes but before results
+  // are published (the BatchServer completes futures after fn returns) —
+  // the shadow-sampled slow path rides the worker thread, never a client's.
+  auto wrap = [svc](core::LearnedCardinalityEstimator* est) {
+    return [svc, est](const std::vector<sets::Query>& qs) {
+      std::vector<double> r = est->EstimateBatch(qs);
+      if (auto* m = svc->monitor()) m->ObserveBatch(qs, r);
+      return r;
+    };
+  };
+  fns.push_back(wrap(primary));
   for (size_t i = 1; i < shards; ++i) {
     auto clone = CloneEstimator(*primary);
     if (!clone.ok()) return clone.status();
@@ -71,9 +80,7 @@ Result<std::unique_ptr<CardinalityService>> CardinalityService::Create(
     replica->SetMetricsRegistry(registry ? registry
                                          : MetricsRegistry::Global());
     service->replicas_.push_back(std::move(clone).value());
-    fns.push_back([replica](const std::vector<sets::Query>& qs) {
-      return replica->EstimateBatch(qs);
-    });
+    fns.push_back(wrap(replica));
   }
   service->server_ = std::make_unique<BatchServer<double>>(
       "cardinality", std::move(fns), opts, registry);
@@ -87,11 +94,15 @@ Result<std::unique_ptr<CardinalityService>> CardinalityService::Create(
     return Status::InvalidArgument("CardinalityService: live is null");
   }
   auto service = std::unique_ptr<CardinalityService>(new CardinalityService());
+  CardinalityService* svc = service.get();
   // Every shard pins the newest generation per flush; the wrapper handles
   // replica-free generation pickup (see header comment on live mode).
   std::vector<BatchServer<double>::BatchFn> fns(
-      NormalizedShards(opts), [live](const std::vector<sets::Query>& qs) {
-        return live->EstimateBatch(qs);
+      NormalizedShards(opts),
+      [live, svc](const std::vector<sets::Query>& qs) {
+        std::vector<double> r = live->EstimateBatch(qs);
+        if (auto* m = svc->monitor()) m->ObserveBatch(qs, r);
+        return r;
       });
   service->server_ = std::make_unique<BatchServer<double>>(
       "cardinality", std::move(fns), opts, registry);
@@ -105,12 +116,18 @@ Result<std::unique_ptr<IndexService>> IndexService::Create(
     return Status::InvalidArgument("IndexService: primary is null");
   }
   auto service = std::unique_ptr<IndexService>(new IndexService());
+  IndexService* svc = service.get();
   const size_t shards = NormalizedShards(opts);
   std::vector<BatchServer<int64_t>::BatchFn> fns;
   fns.reserve(shards);
-  fns.push_back([primary](const std::vector<sets::Query>& qs) {
-    return primary->LookupBatch(qs);
-  });
+  auto wrap = [svc](core::LearnedSetIndex* index) {
+    return [svc, index](const std::vector<sets::Query>& qs) {
+      std::vector<int64_t> r = index->LookupBatch(qs);
+      if (auto* m = svc->monitor()) m->ObserveBatch(qs);
+      return r;
+    };
+  };
+  fns.push_back(wrap(primary));
   for (size_t i = 1; i < shards; ++i) {
     auto clone = CloneIndex(*primary, collection);
     if (!clone.ok()) return clone.status();
@@ -118,9 +135,7 @@ Result<std::unique_ptr<IndexService>> IndexService::Create(
     replica->SetMetricsRegistry(registry ? registry
                                          : MetricsRegistry::Global());
     service->replicas_.push_back(std::move(clone).value());
-    fns.push_back([replica](const std::vector<sets::Query>& qs) {
-      return replica->LookupBatch(qs);
-    });
+    fns.push_back(wrap(replica));
   }
   service->server_ = std::make_unique<BatchServer<int64_t>>(
       "index", std::move(fns), opts, registry);
@@ -134,9 +149,13 @@ Result<std::unique_ptr<IndexService>> IndexService::Create(
     return Status::InvalidArgument("IndexService: live is null");
   }
   auto service = std::unique_ptr<IndexService>(new IndexService());
+  IndexService* svc = service.get();
   std::vector<BatchServer<int64_t>::BatchFn> fns(
-      NormalizedShards(opts), [live](const std::vector<sets::Query>& qs) {
-        return live->LookupBatch(qs);
+      NormalizedShards(opts),
+      [live, svc](const std::vector<sets::Query>& qs) {
+        std::vector<int64_t> r = live->LookupBatch(qs);
+        if (auto* m = svc->monitor()) m->ObserveBatch(qs);
+        return r;
       });
   service->server_ = std::make_unique<BatchServer<int64_t>>(
       "index", std::move(fns), opts, registry);
@@ -150,12 +169,15 @@ Result<std::unique_ptr<BloomService>> BloomService::Create(
     return Status::InvalidArgument("BloomService: primary is null");
   }
   auto service = std::unique_ptr<BloomService>(new BloomService());
+  BloomService* svc = service.get();
   const size_t shards = NormalizedShards(opts);
   std::vector<BatchServer<bool>::BatchFn> fns;
   fns.reserve(shards);
-  auto wrap = [](core::LearnedBloomFilter* bf) {
-    return [bf](const std::vector<sets::Query>& qs) {
-      return std::move(bf->MayContainMulti(qs).verdicts);
+  auto wrap = [svc](core::LearnedBloomFilter* bf) {
+    return [svc, bf](const std::vector<sets::Query>& qs) {
+      std::vector<bool> r = std::move(bf->MayContainMulti(qs).verdicts);
+      if (auto* m = svc->monitor()) m->ObserveBatch(qs);
+      return r;
     };
   };
   fns.push_back(wrap(primary));
@@ -180,9 +202,13 @@ Result<std::unique_ptr<BloomService>> BloomService::Create(
     return Status::InvalidArgument("BloomService: live is null");
   }
   auto service = std::unique_ptr<BloomService>(new BloomService());
+  BloomService* svc = service.get();
   std::vector<BatchServer<bool>::BatchFn> fns(
-      NormalizedShards(opts), [live](const std::vector<sets::Query>& qs) {
-        return live->MayContainMulti(qs);
+      NormalizedShards(opts),
+      [live, svc](const std::vector<sets::Query>& qs) {
+        std::vector<bool> r = live->MayContainMulti(qs);
+        if (auto* m = svc->monitor()) m->ObserveBatch(qs);
+        return r;
       });
   service->server_ = std::make_unique<BatchServer<bool>>(
       "bloom", std::move(fns), opts, registry);

@@ -28,6 +28,7 @@
 // the pinned generation's model inference mutex; prefer num_shards = 1
 // with live structures unless flushes are aux-heavy.
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "core/learned_cardinality.h"
 #include "core/learned_index.h"
 #include "core/updatable.h"
+#include "monitor/monitor.h"
 #include "serve/batch_server.h"
 
 namespace los::serve {
@@ -64,9 +66,22 @@ class CardinalityService {
   void Shutdown() { server_->Shutdown(); }
   BatchServer<double>* server() { return server_.get(); }
 
+  /// Attaches a quality monitor: after each flush executes, the batch's
+  /// queries and results are forwarded to the monitor (which shadow-samples
+  /// 1-in-N of them). nullptr detaches. The monitor must outlive the
+  /// service or be detached first; an unattached monitor costs the flush
+  /// one relaxed pointer load.
+  void AttachMonitor(monitor::CardinalityMonitor* m) {
+    monitor_.store(m, std::memory_order_release);
+  }
+  monitor::CardinalityMonitor* monitor() const {
+    return monitor_.load(std::memory_order_acquire);
+  }
+
  private:
   CardinalityService() = default;
   std::vector<std::unique_ptr<core::LearnedCardinalityEstimator>> replicas_;
+  std::atomic<monitor::CardinalityMonitor*> monitor_{nullptr};
   std::unique_ptr<BatchServer<double>> server_;
 };
 
@@ -93,9 +108,20 @@ class IndexService {
   void Shutdown() { server_->Shutdown(); }
   BatchServer<int64_t>* server() { return server_.get(); }
 
+  /// See CardinalityService::AttachMonitor. The monitor re-executes its
+  /// sampled queries through the LookupFn bound at wiring time (typically a
+  /// metric-silent ProbeLookup on this service's primary).
+  void AttachMonitor(monitor::IndexMonitor* m) {
+    monitor_.store(m, std::memory_order_release);
+  }
+  monitor::IndexMonitor* monitor() const {
+    return monitor_.load(std::memory_order_acquire);
+  }
+
  private:
   IndexService() = default;
   std::vector<std::unique_ptr<core::LearnedSetIndex>> replicas_;
+  std::atomic<monitor::IndexMonitor*> monitor_{nullptr};
   std::unique_ptr<BatchServer<int64_t>> server_;
 };
 
@@ -121,9 +147,19 @@ class BloomService {
   void Shutdown() { server_->Shutdown(); }
   BatchServer<bool>* server() { return server_.get(); }
 
+  /// See CardinalityService::AttachMonitor. Sampled observations replay
+  /// known-negative probes through the ProbeFn bound at wiring time.
+  void AttachMonitor(monitor::BloomMonitor* m) {
+    monitor_.store(m, std::memory_order_release);
+  }
+  monitor::BloomMonitor* monitor() const {
+    return monitor_.load(std::memory_order_acquire);
+  }
+
  private:
   BloomService() = default;
   std::vector<std::unique_ptr<core::LearnedBloomFilter>> replicas_;
+  std::atomic<monitor::BloomMonitor*> monitor_{nullptr};
   std::unique_ptr<BatchServer<bool>> server_;
 };
 

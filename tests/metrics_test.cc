@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -200,7 +203,9 @@ TEST(RegistryTest, ConcurrentResolutionIsSafe) {
       },
       1);
   EXPECT_FALSE(mismatch.load());
-  if (kObserving) EXPECT_EQ(first.load()->value(), 1000u);
+  if (kObserving) {
+    EXPECT_EQ(first.load()->value(), 1000u);
+  }
 }
 
 TEST(SnapshotTest, JsonLinesShape) {
@@ -309,6 +314,115 @@ TEST(InjectionTest, IndexLookupCountsQueries) {
   const HistogramSnapshot* width = snap.FindHistogram("index.scan_width");
   ASSERT_NE(width, nullptr);
   EXPECT_GT(width->count, 0u);
+}
+
+TEST(SnapshotTest, JsonExportsBucketBoundariesAndCounts) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0, 3});
+  h->Observe(0.5);   // bucket 0 (le 1)
+  h->Observe(1.5);   // bucket 1 (le 2)
+  h->Observe(100.0);  // overflow bucket
+  const std::string lines = registry.Snapshot().ToJsonLines();
+  // Bounds are start*factor^i and counts carry one extra overflow bucket,
+  // so a scraper can reconstruct the full distribution from a snapshot.
+  EXPECT_NE(lines.find("\"bounds\":[1,2,4]"), std::string::npos) << lines;
+  EXPECT_NE(lines.find("\"buckets\":[1,1,0,1]"), std::string::npos) << lines;
+}
+
+TEST(OpenMetricsTest, ExpositionFormat) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  registry.GetCounter("index.lookups")->Increment(42);
+  registry.GetGauge("monitor.cardinality.drift_score")->Set(0.25);
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0, 2});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+  const std::string text = registry.Snapshot().ToOpenMetrics();
+
+  // Names are sanitized under the los_ prefix; counters gain _total.
+  EXPECT_NE(text.find("# TYPE los_index_lookups counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("los_index_lookups_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE los_monitor_cardinality_drift_score gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("los_monitor_cardinality_drift_score 0.25\n"),
+            std::string::npos);
+
+  // Histogram buckets are cumulative with a terminal +Inf equal to _count.
+  EXPECT_NE(text.find("los_test_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("los_test_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("los_test_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("los_test_hist_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("los_test_hist_sum 11\n"), std::string::npos);
+
+  // The exposition must end with the OpenMetrics terminator.
+  const std::string eof = "# EOF\n";
+  ASSERT_GE(text.size(), eof.size());
+  EXPECT_EQ(text.substr(text.size() - eof.size()), eof);
+}
+
+TEST(ExportWriterTest, WritesJsonlAndOpenMetricsFiles) {
+  if (!kObserving) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  registry.GetCounter("test.exported")->Increment(7);
+
+  const std::string dir = ::testing::TempDir();
+  MetricsExportWriter::Options opts;
+  opts.jsonl_path = dir + "/los_metrics_test.jsonl";
+  opts.openmetrics_path = dir + "/los_metrics_test.prom";
+  opts.period_s = 3600.0;  // no periodic fire during the test
+  std::remove(opts.jsonl_path.c_str());
+  {
+    MetricsExportWriter writer(&registry, opts);
+    ASSERT_TRUE(writer.WriteOnce().ok());
+    ASSERT_TRUE(writer.WriteOnce().ok());
+    EXPECT_GE(writer.exports(), 2u);
+    // Stop performs one final export so the files end on a complete view.
+    writer.Stop();
+    EXPECT_GE(writer.exports(), 3u);
+  }
+
+  std::ifstream jsonl(opts.jsonl_path);
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(jsonl, line)) {
+    ++lines;
+    EXPECT_EQ(line.rfind("{\"ts_s\":", 0), 0u) << line;
+    EXPECT_NE(line.find("\"test.exported\":7"), std::string::npos);
+  }
+  EXPECT_GE(lines, 3u);
+
+  std::ifstream prom(opts.openmetrics_path);
+  ASSERT_TRUE(prom.good());
+  std::string text((std::istreambuf_iterator<char>(prom)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("los_test_exported_total 7\n"), std::string::npos);
+  const std::string eof = "# EOF\n";
+  ASSERT_GE(text.size(), eof.size());
+  EXPECT_EQ(text.substr(text.size() - eof.size()), eof);
+
+  std::remove(opts.jsonl_path.c_str());
+  std::remove(opts.openmetrics_path.c_str());
+}
+
+TEST(ExportWriterTest, AtomicWriteReplacesWithoutPartials) {
+  const std::string path = ::testing::TempDir() + "/los_atomic_test.txt";
+  ASSERT_TRUE(WriteTextFileAtomic(path, "first\n").ok());
+  ASSERT_TRUE(WriteTextFileAtomic(path, "second\n").ok());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, "second\n");
+  // The temp staging file never survives a successful rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -27,6 +27,10 @@ import sys
 # a new sweep axis automatically splits the comparison space.
 _MEASUREMENT_SUFFIXES = ("_s", "_ms", "_us", "_mb", "_bytes", "_per_s",
                          "_count")
+# Quality readouts are measurements even when they happen to be integral
+# (a sample count, a q-error of exactly 1) — without this they would join
+# the record identity and split the comparison whenever quality moves.
+_MEASUREMENT_PREFIXES = ("monitor_", "shadow_")
 _ATTACHMENTS = {"samples", "metrics", "provenance"}
 
 # Keys gated on regression: medians are stable; the p99 tail is gated too
@@ -34,13 +38,19 @@ _ATTACHMENTS = {"samples", "metrics", "provenance"}
 # per-request samples, so their tail is meaningful). p95 stays
 # informational (single-digit sample counts make it too noisy to gate).
 _GATE_KEYS = ("median_s", "median_ms", "p99_s", "p99_ms")
-_GATE_PREFIXES = ()
+# Prefix-gated keys: model-quality readouts attached by the monitoring
+# benches (monitor_qerror_p95, monitor_drift_score, ...). Quality regresses
+# the same way latency does — a new commit that doubles the monitored
+# q-error should trip the same gate as one that doubles the median.
+_GATE_PREFIXES = ("monitor_",)
 
 
 def _is_measurement(key, value):
     if key in _ATTACHMENTS:
         return True
     if any(key.endswith(s) for s in _MEASUREMENT_SUFFIXES):
+        return True
+    if key.startswith(_MEASUREMENT_PREFIXES):
         return True
     return isinstance(value, float)
 
@@ -88,7 +98,8 @@ def gate_keys(record):
     for key, value in record.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
-        if key in _GATE_KEYS or key.endswith("_ms"):
+        if (key in _GATE_KEYS or key.endswith("_ms")
+                or key.startswith(_GATE_PREFIXES)):
             yield key
 
 
